@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once (simulations are
+deterministic; statistical repetition buys nothing), prints the rendered
+table so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+results report, and saves it under ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def run_experiment(benchmark, experiment_fn, **kwargs):
+    """Run one experiment under pytest-benchmark and report it."""
+    table = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+    )
+    print("\n" + table.render())
+    table.save(RESULTS_DIR)
+    return table

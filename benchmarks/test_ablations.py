@@ -1,0 +1,42 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures, but the quantitative backing for three of its design
+arguments: (1) PWB scheduling cannot substitute for walk throughput,
+(2) PW-warp threads must proceed independently rather than in SIMT
+lockstep, and (3) shortening walks via a deeper PWC does not remove
+contention.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import (
+    ablation_pwb_scheduling,
+    ablation_pwc_depth,
+    ablation_simt_lockstep,
+)
+
+
+def test_ablation_pwb_scheduling(benchmark):
+    table = run_experiment(benchmark, ablation_pwb_scheduling)
+    by_policy = {row[0]: row[1] for row in table.rows}
+    scheduling_gain = by_policy["sm_batch (PW scheduling)"]
+    assert 0.8 < scheduling_gain < 1.4, "scheduling alone moves little"
+    assert by_policy["SoftWalker (for reference)"] > scheduling_gain * 1.5
+
+
+def test_ablation_simt_lockstep(benchmark):
+    table = run_experiment(benchmark, ablation_simt_lockstep)
+    by_model = {row[0]: row[1] for row in table.rows}
+    independent = by_model["independent threads (paper)"]
+    lockstep = by_model["SIMT lockstep"]
+    assert independent >= lockstep * 0.98, "independent threads must not lose"
+    assert lockstep > 1.0, "even lockstep software walking beats 32 PTWs"
+
+
+def test_ablation_pwc_depth(benchmark):
+    table = run_experiment(benchmark, ablation_pwc_depth)
+    default_row, deep_row = table.rows
+    assert deep_row[2] < default_row[2], "deeper PWC shortens walks"
+    assert deep_row[1] < 2.0, (
+        "shorter walks alone cannot approach SoftWalker-level gains"
+    )

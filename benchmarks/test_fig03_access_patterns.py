@@ -1,0 +1,18 @@
+"""Figure 3: irregular vs regular page-level access patterns."""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig03_access_patterns
+
+
+def test_fig03_access_patterns(benchmark):
+    table = run_experiment(benchmark, fig03_access_patterns)
+    by_workload = {row[0]: row for row in table.rows}
+    # Irregular workloads touch many pages per instruction over a wide span;
+    # the regular one stays page-local.
+    assert by_workload["nw"][3] > 4 * by_workload["2dc"][3]
+    assert by_workload["bfs"][3] > 4 * by_workload["2dc"][3]
+    # The graph workload's reach spans thousands of pages per instruction;
+    # the regular kernel never leaves its current page.
+    assert by_workload["bfs"][4] > 1000 * max(1.0, by_workload["2dc"][4])
+    assert by_workload["nw"][4] > 10 * max(1.0, by_workload["2dc"][4])

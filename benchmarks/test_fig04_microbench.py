@@ -1,0 +1,18 @@
+"""Figure 4: memory latency rises with concurrent page walks.
+
+The paper measures ~4x latency at 256 concurrent walks on an A2000; in
+an uncontended system latency would be flat.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig04_microbench
+
+
+def test_fig04_microbench(benchmark):
+    table = run_experiment(benchmark, fig04_microbench)
+    normalized = table.column("normalized")
+    assert normalized[0] == 1.0
+    # Latency grows monotonically-ish and substantially with concurrency.
+    assert normalized[-1] > 2.0, "contention must inflate latency at 256 walks"
+    assert normalized[-1] > normalized[len(normalized) // 2]

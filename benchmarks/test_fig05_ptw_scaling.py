@@ -1,0 +1,22 @@
+"""Figure 5: performance of scaling hardware PTWs toward the ideal.
+
+The paper: regular workloads are satisfied by 32 PTWs; irregular ones
+need 256-1024 to approach the ideal (2.58x mean, 4.84x irregular).
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig05_ptw_scaling
+
+
+def test_fig05_ptw_scaling(benchmark):
+    table = run_experiment(benchmark, fig05_ptw_scaling)
+    irregular = table.row_for("geomean (irregular)")
+    labels = table.headers[1:]
+    by_label = dict(zip(labels, irregular[1:]))
+    assert by_label["Ideal"] > 1.8, "ideal walkers must be much faster (irregular)"
+    assert by_label["1024 PTWs"] > by_label["64 PTWs"], "scaling must keep helping"
+    # Regular workloads are fine with 32 PTWs: little headroom.
+    overall = dict(zip(labels, table.row_for("geomean")[1:]))
+    regular_gain = overall["Ideal"] / by_label["Ideal"]
+    assert regular_gain < 1.0, "irregular workloads dominate the ideal headroom"

@@ -1,0 +1,19 @@
+"""Figure 6: NHA coalescing and 2MB pages do not solve PTW contention.
+
+Scaling walkers still yields large gains under both techniques, showing
+more walk throughput is complementary to prior approaches.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig06_prior_techniques
+
+
+def test_fig06_prior_techniques(benchmark):
+    table = run_experiment(benchmark, fig06_prior_techniques)
+    for row in table.rows:
+        technique, *speedups = row
+        assert speedups[-1] > 1.2, (
+            f"{technique}: extra PTWs should still help substantially"
+        )
+        assert speedups == sorted(speedups), f"{technique}: scaling must not hurt"

@@ -1,0 +1,13 @@
+"""Figure 7: queueing delay dominates page-walk latency at few PTWs."""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig07_latency_breakdown
+
+
+def test_fig07_latency_breakdown(benchmark):
+    table = run_experiment(benchmark, fig07_latency_breakdown)
+    shares = {row[0]: row[3] for row in table.rows}
+    assert shares[32] > 0.85, "paper: ~95% queueing at 32 PTWs"
+    assert shares[32] > shares[128] > shares["ideal"]
+    assert shares["ideal"] < 0.35, "ideal walkers should have little queueing"

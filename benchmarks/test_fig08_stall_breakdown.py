@@ -1,0 +1,16 @@
+"""Figure 8: irregular workloads leave the warp scheduler mostly stalled."""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig08_stall_breakdown
+from repro.workloads.catalog import IRREGULAR_ABBRS
+
+
+def test_fig08_stall_breakdown(benchmark):
+    table = run_experiment(benchmark, fig08_stall_breakdown)
+    irregular = [row for row in table.rows if row[0] in IRREGULAR_ABBRS]
+    stall_mean = sum(row[3] for row in irregular) / len(irregular)
+    assert stall_mean > 0.7, "paper: ~90% of cycles stall on irregular workloads"
+    # The stalls are the headroom SoftWalker exploits: plenty of idle slots.
+    for row in irregular:
+        assert row[3] > 0.5, f"{row[0]} should be stall-dominated"

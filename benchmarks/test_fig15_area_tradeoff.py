@@ -1,0 +1,29 @@
+"""Figure 15: speedup per unit area — SoftWalker vs hardware scaling.
+
+CAM-based PWB/MSHR structures grow super-linearly with ports, so
+hardware scaling pays dearly for throughput; SoftWalker adds only SRAM
+bits and clears more speedup within the same budget.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig15_area_tradeoff
+
+
+def test_fig15_area_tradeoff(benchmark):
+    table = run_experiment(benchmark, fig15_area_tradeoff)
+    rows = {((row[0]), row[1]): row for row in table.rows}
+    sw = rows[("SoftWalker", "-")]
+    sw_area, sw_speedup = sw[2], sw[3]
+    assert sw_area < 1.0, "SoftWalker must cost less than the baseline PWB"
+    # Every hardware point with comparable-or-larger area loses to SoftWalker.
+    for (label, ports), row in rows.items():
+        if label == "SoftWalker":
+            continue
+        area, speedup = row[2], row[3]
+        if area <= 64:
+            assert speedup < sw_speedup * 1.05, (
+                f"{label}/{ports} ports should not beat SoftWalker at similar area"
+            )
+    # Port scaling grows area super-linearly.
+    assert rows[("192 PTWs", 18)][2] > 8 * rows[("192 PTWs", 1)][2]

@@ -1,0 +1,32 @@
+"""Figure 16: overall speedup of every technique over the baseline.
+
+The paper's headline result: SoftWalker 2.24x on average (3.94x for
+irregular workloads), ahead of NHA (1.22x) and FS-HPT (1.13x), with the
+hybrid recovering regular-workload slowdowns and the full design
+approaching the ideal-PTW configuration.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig16_overall_speedup
+
+
+def test_fig16_overall_speedup(benchmark):
+    table = run_experiment(benchmark, fig16_overall_speedup)
+
+    overall = table.row_for("geomean")
+    irregular = table.row_for("geomean (irregular)")
+    labels = table.headers[1:]
+
+    softwalker = dict(zip(labels, overall[1:]))["SoftWalker"]
+    softwalker_irr = dict(zip(labels, irregular[1:]))["SoftWalker"]
+    ideal_irr = dict(zip(labels, irregular[1:]))["Ideal"]
+    sw_no_intlb_irr = dict(zip(labels, irregular[1:]))["SW w/o In-TLB"]
+    nha_irr = dict(zip(labels, irregular[1:]))["NHA"]
+
+    # Shape assertions (paper: who wins, by roughly what factor).
+    assert softwalker > 1.3, "SoftWalker must clearly beat the baseline"
+    assert softwalker_irr > 1.8, "irregular speedup should be large"
+    assert softwalker_irr > sw_no_intlb_irr, "In-TLB MSHR must add on top"
+    assert softwalker_irr > nha_irr, "SoftWalker beats coalescing"
+    assert softwalker_irr <= ideal_irr * 1.05, "cannot beat ideal walkers"

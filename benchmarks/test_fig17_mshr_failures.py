@@ -1,0 +1,19 @@
+"""Figure 17: In-TLB MSHR eliminates most L2 TLB MSHR failures.
+
+The paper reports 95.3% of failures removed on average across irregular
+workloads, with spmv limited (~65%) by per-set contention.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig17_mshr_failures
+
+
+def test_fig17_mshr_failures(benchmark):
+    table = run_experiment(benchmark, fig17_mshr_failures)
+    mean_reduction = table.row_for("mean")[-1]
+    assert mean_reduction > 0.5, "In-TLB MSHR must remove most failures"
+    # Every irregular workload sees fewer failures, not more.
+    for row in table.rows[:-1]:
+        _, before, after, _ = row
+        assert after <= before

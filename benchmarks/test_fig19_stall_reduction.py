@@ -1,0 +1,20 @@
+"""Figure 19: SoftWalker converts translation stalls into progress.
+
+The paper reports ~71% fewer warp-scheduler stall cycles on irregular
+workloads; regular workloads change little.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig19_stall_reduction
+
+
+def test_fig19_stall_reduction(benchmark):
+    table = run_experiment(benchmark, fig19_stall_reduction)
+    mean_irregular = table.row_for("mean (irregular)")[-1]
+    assert mean_irregular > 0.3, "irregular stalls must drop substantially"
+    # Regular workloads may lose a little but never catastrophically.
+    for row in table.rows[:-1]:
+        abbr, category, _base, _soft, reduction = row
+        if category == "regular":
+            assert reduction > -0.35, f"{abbr} regressed too much"

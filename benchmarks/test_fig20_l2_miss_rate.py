@@ -1,0 +1,16 @@
+"""Figure 20: SoftWalker's extra walk traffic does not thrash the L2.
+
+The paper: L2 data-cache miss rates are essentially unchanged because
+the baseline leaves the memory system underutilized (~6.7% bandwidth).
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig20_l2_miss_rate
+
+
+def test_fig20_l2_miss_rate(benchmark):
+    table = run_experiment(benchmark, fig20_l2_miss_rate)
+    for row in table.rows:
+        abbr, base, soft, delta = row
+        assert abs(delta) < 0.25, f"{abbr}: L2 miss rate changed too much"

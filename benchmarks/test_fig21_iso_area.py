@@ -1,0 +1,19 @@
+"""Figure 21: iso-area comparison against scaled hardware baselines.
+
+SoftWalker beats the comparable-area 128-PTW design, and In-TLB MSHR
+only pays off when walker throughput can consume the extra tracked
+misses (it does nothing for 32 hardware walkers).
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig21_iso_area
+
+
+def test_fig21_iso_area(benchmark):
+    table = run_experiment(benchmark, fig21_iso_area)
+    means = dict(zip(table.headers[1:], table.row_for("geomean")[1:]))
+    assert means["SoftWalker"] > means["128 PTWs"], "iso-area win (paper: +18.5%)"
+    # In-TLB MSHR without enough walkers is not the source of the gain.
+    assert means["32 PTWs + In-TLB"] < means["SoftWalker"] * 0.8
+    assert means["SoftWalker"] > means["SW w/o In-TLB"]

@@ -1,0 +1,16 @@
+"""Figure 22: SoftWalker vs L2 TLB access latency (communication cost).
+
+Longer L2 TLB latency inflates SoftWalker's SM<->TLB hops, eroding but
+not erasing the speedup (paper: 2.31x at 40 cycles, 2.07x at 200).
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig22_l2tlb_latency
+
+
+def test_fig22_l2tlb_latency(benchmark):
+    table = run_experiment(benchmark, fig22_l2tlb_latency)
+    speedups = table.column("speedup over baseline")
+    assert speedups[0] >= speedups[-1] * 0.95, "shorter latency should help"
+    assert speedups[-1] > 1.3, "SoftWalker survives even a 200-cycle L2 TLB"

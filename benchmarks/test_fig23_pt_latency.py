@@ -1,0 +1,19 @@
+"""Figure 23: SoftWalker vs per-level page-table access latency.
+
+Slower page tables make queueing (and hence SoftWalker's elimination of
+it) matter more: the paper's speedup grows from 1.6x at 50 cycles to
+4.8x at 400.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig23_pt_latency
+
+
+def test_fig23_pt_latency(benchmark):
+    table = run_experiment(benchmark, fig23_pt_latency)
+    speedups = table.column("speedup over baseline")
+    reductions = table.column("queueing delay reduction")
+    assert speedups[-1] > speedups[0], "speedup must grow with PT latency"
+    assert all(s > 1.2 for s in speedups), "substantial speedup at every point"
+    assert all(r > 0.5 for r in reductions), "queueing largely eliminated"

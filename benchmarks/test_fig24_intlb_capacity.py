@@ -1,0 +1,18 @@
+"""Figure 24: speedup vs maximum In-TLB MSHR capacity.
+
+More repurposable TLB entries track more concurrent misses; the paper's
+average climbs 1.63x -> 2.24x from 0 to 1024 entries.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig24_intlb_capacity
+
+
+def test_fig24_intlb_capacity(benchmark):
+    table = run_experiment(benchmark, fig24_intlb_capacity)
+    speedups = table.column("speedup over baseline")
+    assert speedups[-1] > speedups[0], "capacity must buy performance"
+    # Gains are broadly monotonic (small local noise tolerated).
+    for earlier, later in zip(speedups, speedups[2:]):
+        assert later >= earlier * 0.97

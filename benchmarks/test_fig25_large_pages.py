@@ -1,0 +1,19 @@
+"""Figure 25: SoftWalker still wins under 2MB pages.
+
+With footprints scaled past the 2GB L2 TLB coverage, large pages alone
+cannot absorb the translation pressure of the scalable workloads.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig25_large_pages
+
+
+def test_fig25_large_pages(benchmark):
+    table = run_experiment(benchmark, fig25_large_pages)
+    geo = table.row_for("geomean")[1]
+    assert geo > 1.1, "SoftWalker must keep a net win under 2MB pages"
+    winners = [row for row in table.rows[:-1] if row[1] > 1.05]
+    assert len(winners) >= len(table.rows[:-1]) // 2, (
+        "most scalable workloads should still speed up (paper: 7 of 10)"
+    )

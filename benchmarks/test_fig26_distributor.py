@@ -1,0 +1,18 @@
+"""Figure 26: Request Distributor policy barely matters.
+
+Irregular workloads stall so much that every SM has idle issue slots;
+the paper adopts round-robin for its simplicity.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import fig26_distributor
+
+
+def test_fig26_distributor(benchmark):
+    table = run_experiment(benchmark, fig26_distributor)
+    speedups = table.column("speedup over baseline")
+    assert all(s > 1.3 for s in speedups)
+    assert max(speedups) / min(speedups) < 1.15, (
+        "policies should perform within ~15% of each other"
+    )

@@ -1,0 +1,14 @@
+"""Section 5.2: SoftWalker's hardware overhead arithmetic."""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import sec52_hardware_overhead
+
+
+def test_sec52_hardware_overhead(benchmark):
+    table = run_experiment(benchmark, sec52_hardware_overhead)
+    values = dict((row[0], row[1]) for row in table.rows)
+    assert values["pw_warp_context_bits_per_sm"] == 1470  # 64+126+8*160
+    assert values["controller_bits_per_sm"] == 64  # 2 bits x 32 threads
+    assert values["in_tlb_pending_bits"] == 1024  # one per L2 TLB entry
+    assert values["control_fraction_of_die"] < 1e-4

@@ -1,0 +1,12 @@
+"""Table 1: qualitative comparison of page-walk mitigation techniques."""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import table1_comparison
+
+
+def test_table1_comparison(benchmark):
+    table = run_experiment(benchmark, table1_comparison)
+    softwalker = table.row_for("SoftWalker")
+    assert softwalker[4] == "no", "SoftWalker needs no hardware walker"
+    assert "1472" in softwalker[5], "32 threads x 46 SMs of walk throughput"

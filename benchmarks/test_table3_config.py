@@ -1,0 +1,16 @@
+"""Table 3: the simulated configuration matches the paper's setup."""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import table3_configuration
+
+
+def test_table3_configuration(benchmark):
+    table = run_experiment(benchmark, table3_configuration)
+    params = dict((row[0], row[1]) for row in table.rows)
+    assert params["# of SMs"] == 46
+    assert params["PTWs"] == 32
+    assert "1024 entries" in params["L2 TLB"]
+    assert "128 MSHRs" in params["L2 TLB"]
+    assert "4-level radix" in params["page table"]
+    assert "64KB pages" in params["page table"]

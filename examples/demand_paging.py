@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Demand paging through the Fault Buffer (Section 5.5, UVM).
+
+The driver normally premaps every page a kernel touches; under Unified
+Virtual Memory pages materialise on first touch instead.  When a PW
+Warp loads an invalid PTE it executes FFB, logging the fault; the UVM
+handler maps the page after a host round-trip and relaunches the walk
+— exactly the protocol a hardware walker would follow, which is why
+SoftWalker is UVM-compatible.
+
+This example premaps only half of a workload's pages and shows faults
+flowing through the buffer under both hardware and software walkers.
+
+Usage:
+    python examples/demand_paging.py
+"""
+
+from repro import baseline_config, get_spec, softwalker_config
+from repro.gpu.gpu import GPUSimulator
+from repro.workloads.base import TraceWorkload
+
+
+class DemandPagedWorkload(TraceWorkload):
+    """Premaps only every other touched page; the rest fault on demand."""
+
+    def _premap(self) -> None:
+        pages = sorted(self._page_set())
+        for index, vpn in enumerate(pages):
+            if index % 2 == 0:
+                self.space.ensure_mapped(vpn)
+        self.touched_pages = len(pages)
+        self.premapped_pages = (len(pages) + 1) // 2
+
+
+def run(label, config) -> None:
+    workload = DemandPagedWorkload(get_spec("bfs"), config, scale=0.3)
+    simulator = GPUSimulator(config, workload)
+    result = simulator.run()
+    faults = len(simulator.fault_buffer)
+    print(
+        f"{label:<22} cycles={result.cycles:>10,}  faults handled={faults:>6,}  "
+        f"pages mapped at start={workload.premapped_pages:,} "
+        f"of {workload.touched_pages:,}"
+    )
+    assert faults > 0, "demand paging should have triggered far-faults"
+    # Every touched page ends up mapped once the faults are serviced.
+    assert workload.space.mapped_pages == workload.touched_pages
+
+
+def main() -> None:
+    print("Demand paging: half of the BFS working set faults on first touch\n")
+    run("hardware walkers", baseline_config())
+    run("SoftWalker (FFB path)", softwalker_config())
+    print(
+        "\nBoth walker types report faults through the same Fault Buffer, so\n"
+        "the UVM driver protocol is unchanged (paper Section 5.5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim so editable installs work without the ``wheel`` package.
+
+The offline environment lacks ``wheel``; ``pip install -e . --no-use-pep517``
+(or plain ``pip install -e .`` on older pips) falls back to
+``setup.py develop`` through this file.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""SoftWalker reproduction: software page table walks for irregular GPUs.
+
+A trace-driven GPU virtual-memory simulator reproducing *SoftWalker:
+Supporting Software Page Table Walk for Irregular GPU Applications*
+(MICRO 2025).  Public entry points:
+
+>>> from repro import baseline_config, softwalker_config, run_workload
+>>> base = run_workload(baseline_config(), "gups", scale=0.2)
+>>> soft = run_workload(softwalker_config(), "gups", scale=0.2)
+>>> soft.speedup_over(base) > 1
+True
+"""
+
+from repro.config import (
+    PAGE_SIZE_2M,
+    PAGE_SIZE_64K,
+    DistributorPolicy,
+    GPUConfig,
+    avatar_config,
+    baseline_config,
+    fshpt_config,
+    ideal_config,
+    nha_config,
+    softwalker_config,
+)
+from repro.gpu.gpu import GPUSimulator, SimulationResult
+from repro.harness.runner import build_workload, run_matrix, run_workload, speedups
+from repro.workloads.base import TraceWorkload, WorkloadSpec
+from repro.workloads.catalog import (
+    ALL_ABBRS,
+    CATALOG,
+    IRREGULAR_ABBRS,
+    REGULAR_ABBRS,
+    get_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_64K",
+    "DistributorPolicy",
+    "GPUConfig",
+    "avatar_config",
+    "baseline_config",
+    "fshpt_config",
+    "ideal_config",
+    "nha_config",
+    "softwalker_config",
+    "GPUSimulator",
+    "SimulationResult",
+    "build_workload",
+    "run_matrix",
+    "run_workload",
+    "speedups",
+    "TraceWorkload",
+    "WorkloadSpec",
+    "ALL_ABBRS",
+    "CATALOG",
+    "IRREGULAR_ABBRS",
+    "REGULAR_ABBRS",
+    "get_spec",
+]

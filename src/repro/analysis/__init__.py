@@ -1,0 +1,38 @@
+"""Analysis: area models, latency breakdowns, result formatting."""
+
+from repro.analysis.area import (
+    GA102_DIE_AREA_MM2,
+    IN_TLB_CONTROL_AREA_MM2,
+    PW_WARP_CONTEXT_BITS,
+    PTWAreaModel,
+    cam_area,
+    hardware_overhead_summary,
+    softwalker_relative_area,
+    softwalker_storage_bits,
+)
+from repro.analysis.energy import (
+    EnergyModel,
+    EnergyReport,
+    energy_report,
+    translation_energy_per_walk,
+)
+from repro.analysis.report import format_breakdown, format_series, format_table, geomean
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "energy_report",
+    "translation_energy_per_walk",
+    "GA102_DIE_AREA_MM2",
+    "IN_TLB_CONTROL_AREA_MM2",
+    "PW_WARP_CONTEXT_BITS",
+    "PTWAreaModel",
+    "cam_area",
+    "hardware_overhead_summary",
+    "softwalker_relative_area",
+    "softwalker_storage_bits",
+    "format_breakdown",
+    "format_series",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,116 @@
+"""Analytical area models for the Section 5.2/5.3 hardware-cost studies.
+
+The paper prices hardware-PTW scaling with CACTI: the PWB and L2 TLB
+MSHRs are content-addressable memories whose area grows linearly with
+entries and bit width but *super-linearly* with port count (each extra
+port adds wordlines/bitlines to every cell, so cell area grows roughly
+quadratically in ports).  We reproduce those scaling laws analytically
+— Figure 15 only needs *relative* areas.
+
+Also carries the Section 5.2 storage-overhead arithmetic for SoftWalker
+(1470 bits/SM of PW-warp context, 2-bit SoftPWB states, 1024 In-TLB
+pending bits, and the synthesized 0.0061 mm^2 In-TLB control logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+
+#: Relative area of one CAM bit-cell vs one SRAM bit-cell.
+CAM_CELL_FACTOR = 2.0
+#: Port scaling: cell linear dimension grows ~(1 + PORT_GROWTH*(ports-1)).
+PORT_GROWTH = 0.6
+
+#: Section 5.2 constants from the paper.
+IN_TLB_CONTROL_AREA_MM2 = 0.0061
+GA102_DIE_AREA_MM2 = 628.4
+PW_WARP_CONTEXT_BITS = 64 + 126 + 8 * 160  # instr buffer + scoreboard + SIMT stack
+
+
+def sram_bits_area(bits: float) -> float:
+    """Area of plain SRAM storage, in arbitrary cell units."""
+    return float(bits)
+
+
+def cam_area(entries: int, width_bits: int, ports: int = 1) -> float:
+    """CAM macro area in the same cell units; super-linear in ports."""
+    if entries < 0 or width_bits <= 0 or ports < 1:
+        raise ValueError("invalid CAM geometry")
+    port_scale = (1.0 + PORT_GROWTH * (ports - 1)) ** 2
+    return CAM_CELL_FACTOR * entries * width_bits * port_scale
+
+
+@dataclass(frozen=True)
+class PTWAreaModel:
+    """Relative area of a hardware page-walk subsystem configuration.
+
+    Scaling walkers scales the PWB entries and L2 TLB MSHR entries
+    proportionally (the paper's methodology for Figures 5/12/15).
+    """
+
+    #: Bits per PWB entry: VPN + state + requester metadata.
+    pwb_entry_bits: int = 96
+    #: Bits per L2 TLB MSHR entry.
+    mshr_entry_bits: int = 64
+    #: Per-walker state machine cost, in cell units.
+    walker_logic_units: float = 2048.0
+    base_walkers: int = 32
+    base_pwb_entries: int = 64
+    base_mshr_entries: int = 128
+
+    def subsystem_area(self, num_walkers: int, pwb_ports: int = 1) -> float:
+        """Absolute area (cell units) of a scaled hardware subsystem."""
+        scale = num_walkers / self.base_walkers
+        pwb_entries = int(self.base_pwb_entries * scale)
+        mshr_entries = int(self.base_mshr_entries * scale)
+        return (
+            cam_area(pwb_entries, self.pwb_entry_bits, pwb_ports)
+            + cam_area(mshr_entries, self.mshr_entry_bits, pwb_ports)
+            + num_walkers * self.walker_logic_units
+        )
+
+    def relative_area(self, num_walkers: int, pwb_ports: int = 1) -> float:
+        """Area normalized to the 32-walker, 1-port baseline (Figure 15)."""
+        return self.subsystem_area(num_walkers, pwb_ports) / self.subsystem_area(
+            self.base_walkers, 1
+        )
+
+
+def softwalker_storage_bits(config: GPUConfig) -> dict[str, int]:
+    """Section 5.2: extra storage SoftWalker needs."""
+    sw = config.softwalker
+    per_sm_controller = 2 * sw.pw_threads_per_sm  # SoftPWB status bitmap
+    per_sm_context = PW_WARP_CONTEXT_BITS
+    in_tlb_pending = config.l2_tlb.entries  # one pending bit per entry
+    return {
+        "controller_bits_per_sm": per_sm_controller,
+        "pw_warp_context_bits_per_sm": per_sm_context,
+        "per_sm_total_bits": per_sm_controller + per_sm_context,
+        "in_tlb_pending_bits": in_tlb_pending,
+        "total_bits": (per_sm_controller + per_sm_context) * config.num_sms
+        + in_tlb_pending,
+    }
+
+
+def softwalker_relative_area(config: GPUConfig, model: PTWAreaModel | None = None) -> float:
+    """SoftWalker's storage translated into the Figure 15 area scale.
+
+    SoftWalker adds plain SRAM bits (no CAM, no extra ports), so its
+    footprint sits far below even modest hardware-walker scaling.
+    """
+    model = model or PTWAreaModel()
+    bits = softwalker_storage_bits(config)["total_bits"]
+    return sram_bits_area(bits) / model.subsystem_area(model.base_walkers, 1)
+
+
+def hardware_overhead_summary(config: GPUConfig) -> dict[str, float]:
+    """The Section 5.2 table: storage plus synthesized control logic."""
+    bits = softwalker_storage_bits(config)
+    return {
+        **{k: float(v) for k, v in bits.items()},
+        "in_tlb_control_mm2": IN_TLB_CONTROL_AREA_MM2,
+        "die_area_mm2": GA102_DIE_AREA_MM2,
+        "control_fraction_of_die": IN_TLB_CONTROL_AREA_MM2 / GA102_DIE_AREA_MM2,
+    }

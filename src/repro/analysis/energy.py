@@ -1,0 +1,112 @@
+"""Translation-path energy model.
+
+The paper argues that scaling hardware PTWs is not just an area problem
+but a power one: PWBs and L2 TLB MSHRs are CAMs whose every search
+touches every entry, so their per-access energy grows linearly with
+capacity (and the paper scales capacity with walker count).  This model
+prices each translation-path event with CACTI-flavoured per-access
+energies and aggregates a run's statistics into nanojoules, letting the
+benches compare the energy of walker scaling against SoftWalker's
+(SRAM-and-idle-pipeline) approach.
+
+Energies are in picojoules per event, relative magnitudes borrowed from
+published CACTI-style numbers for small SRAM/CAM macros and DRAM
+accesses; as with the area model, only ratios are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import GPUConfig
+from repro.gpu.gpu import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies (picojoules)."""
+
+    #: SRAM array read, per kilobit of array touched.
+    sram_read_per_kbit: float = 1.0
+    #: CAM search energy per entry searched (every search hits all rows).
+    cam_search_per_entry: float = 0.25
+    #: One DRAM sector access.
+    dram_access: float = 400.0
+    #: One L2 data-cache access (tag + one sector of data).
+    l2_cache_access: float = 20.0
+    #: One L1 data-cache access.
+    l1_cache_access: float = 8.0
+    #: One GPU instruction issued through an SM pipeline (PW warps).
+    instruction: float = 6.0
+    #: One hardware-walker active step (state machine + registers).
+    walker_step: float = 2.0
+
+    def tlb_lookup(self, entries: int, associativity: int) -> float:
+        """A TLB lookup reads one set's tags/data (CAM-like if fully assoc.)."""
+        ways = entries if associativity == 0 else associativity
+        return self.cam_search_per_entry * ways + self.sram_read_per_kbit * 0.5
+
+    def mshr_search(self, entries: int) -> float:
+        """MSHR files are fully associative: every entry participates."""
+        return self.cam_search_per_entry * entries
+
+
+@dataclass
+class EnergyReport:
+    """Aggregated translation-path energy for one run (nanojoules)."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_nj(self) -> float:
+        return sum(self.components.values())
+
+    def fraction(self, name: str) -> float:
+        total = self.total_nj
+        return self.components.get(name, 0.0) / total if total else 0.0
+
+
+def energy_report(
+    result: SimulationResult,
+    config: GPUConfig,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Price a finished run's translation-path events."""
+    model = model or EnergyModel()
+    counters = result.stats.counters
+    pj: dict[str, float] = {}
+
+    l1 = config.l1_tlb
+    l2 = config.l2_tlb
+    pj["l1_tlb"] = counters.get("l1tlb.lookups") * model.tlb_lookup(
+        l1.entries, l1.associativity
+    )
+    pj["l2_tlb"] = counters.get("l2tlb.lookups") * model.tlb_lookup(
+        l2.entries, l2.associativity
+    )
+    # Every L2 TLB miss consults the MSHR file (allocation or merge),
+    # and every MSHR failure burned a search too.
+    mshr_searches = counters.get("l2tlb.misses") + counters.get("l2tlb.mshr_failures")
+    pj["l2_tlb_mshr"] = mshr_searches * model.mshr_search(l2.mshr_entries)
+    # PWB occupancy: each hardware walk start searches the PWB CAM.
+    pj["pwb"] = counters.get("ptw.walks") * model.mshr_search(config.ptw.pwb_entries)
+    pj["walker_logic"] = counters.get("ptw.walks") * model.walker_step * (
+        config.page_table.levels
+    )
+    # Memory-side traffic.
+    pj["pte_memory"] = (
+        counters.get("l2d.accesses") * model.l2_cache_access
+        + counters.get("dram.accesses") * model.dram_access
+    )
+    pj["l1_data"] = counters.get("l1d.accesses") * model.l1_cache_access
+    # PW-warp instructions (zero unless SoftWalker ran).
+    pj["pw_warp_pipeline"] = result.pw_instructions * model.instruction
+
+    return EnergyReport(components={k: v / 1000.0 for k, v in pj.items()})
+
+
+def translation_energy_per_walk(report: EnergyReport, walks: int) -> float:
+    """Average translation-path energy per completed walk (nJ)."""
+    if walks == 0:
+        return 0.0
+    return report.total_nj / walks

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the Table 4 benchmark catalog.
+* ``run`` — simulate one benchmark under one configuration.
+* ``compare`` — baseline vs a set of techniques on one benchmark.
+* ``figure`` — regenerate one of the paper's figures/tables by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.report import format_table
+from repro.config import (
+    GPUConfig,
+    avatar_config,
+    baseline_config,
+    fshpt_config,
+    ideal_config,
+    nha_config,
+    softwalker_config,
+)
+from repro.harness import experiments
+from repro.harness.runner import run_workload
+from repro.workloads.catalog import ALL_ABBRS, CATALOG, get_spec
+
+#: Named configurations selectable from the command line.
+CONFIGS: dict[str, Callable[[], GPUConfig]] = {
+    "baseline": baseline_config,
+    "nha": nha_config,
+    "fshpt": fshpt_config,
+    "avatar": avatar_config,
+    "softwalker": softwalker_config,
+    "softwalker-no-intlb": lambda: softwalker_config(in_tlb_mshr_entries=0),
+    "hybrid": lambda: softwalker_config(hybrid=True),
+    "ideal": ideal_config,
+}
+
+#: Figure/table experiments runnable by name.
+EXPERIMENTS: dict[str, Callable[..., experiments.ExperimentTable]] = {
+    "fig3": experiments.fig03_access_patterns,
+    "fig4": experiments.fig04_microbench,
+    "fig5": experiments.fig05_ptw_scaling,
+    "fig6": experiments.fig06_prior_techniques,
+    "fig7": experiments.fig07_latency_breakdown,
+    "fig8": experiments.fig08_stall_breakdown,
+    "fig12": experiments.fig12_ptw_mshr_scaling,
+    "fig15": experiments.fig15_area_tradeoff,
+    "fig16": experiments.fig16_overall_speedup,
+    "fig17": experiments.fig17_mshr_failures,
+    "fig18": experiments.fig18_walk_latency,
+    "fig19": experiments.fig19_stall_reduction,
+    "fig20": experiments.fig20_l2_miss_rate,
+    "fig21": experiments.fig21_iso_area,
+    "fig22": experiments.fig22_l2tlb_latency,
+    "fig23": experiments.fig23_pt_latency,
+    "fig24": experiments.fig24_intlb_capacity,
+    "fig25": experiments.fig25_large_pages,
+    "fig26": experiments.fig26_distributor,
+    "ext-baselines": experiments.extension_baselines,
+    "ablation-scheduling": experiments.ablation_pwb_scheduling,
+    "ablation-lockstep": experiments.ablation_simt_lockstep,
+    "ablation-pwc": experiments.ablation_pwc_depth,
+    "table1": experiments.table1_comparison,
+    "table3": experiments.table3_configuration,
+    "table4": experiments.table4_catalog,
+    "sec5.2": experiments.sec52_hardware_overhead,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SoftWalker (MICRO 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark catalog")
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    run_parser.add_argument(
+        "--config", choices=sorted(CONFIGS), default="baseline"
+    )
+    run_parser.add_argument("--scale", type=float, default=1.0)
+
+    compare_parser = sub.add_parser("compare", help="compare techniques")
+    compare_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    compare_parser.add_argument("--scale", type=float, default=0.5)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", choices=sorted(EXPERIMENTS))
+    figure_parser.add_argument("--scale", type=float, default=None)
+    figure_parser.add_argument(
+        "--save", metavar="DIR", help="also write the table under DIR"
+    )
+    return parser
+
+
+def cmd_list() -> int:
+    rows = [
+        [spec.abbr, spec.category, spec.footprint_mb, spec.pattern, spec.paper_mpki]
+        for spec in CATALOG.values()
+    ]
+    print(
+        format_table(
+            ["abbr", "category", "footprint (MB)", "pattern", "paper MPKI"],
+            rows,
+            title="Benchmark catalog (Table 4)",
+        )
+    )
+    return 0
+
+
+def cmd_run(benchmark: str, config_name: str, scale: float) -> int:
+    config = CONFIGS[config_name]()
+    result = run_workload(config, benchmark, scale=scale)
+    spec = get_spec(benchmark)
+    rows = [
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["walks completed", result.walks_completed],
+        ["L2 TLB MPKI", result.l2_tlb_mpki],
+        ["mean walk latency", result.walk_latency],
+        ["  queueing", result.walk_queueing],
+        ["  access", result.walk_access],
+        ["  SW overhead", result.walk_overhead],
+        ["MSHR failures", result.mshr_failures],
+        ["stall fraction", result.stall_fraction],
+        ["L2D miss rate", result.l2_cache_miss_rate],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{spec.name} ({spec.category}) under {config_name}",
+        )
+    )
+    return 0
+
+
+def cmd_compare(benchmark: str, scale: float) -> int:
+    base = run_workload(baseline_config(), benchmark, scale=scale)
+    rows = [["baseline", base.cycles, "1.00x", f"{base.queueing_fraction:.0%}"]]
+    for name in ("nha", "fshpt", "softwalker", "hybrid", "ideal"):
+        result = run_workload(CONFIGS[name](), benchmark, scale=scale)
+        rows.append(
+            [
+                name,
+                result.cycles,
+                f"{result.speedup_over(base):.2f}x",
+                f"{result.queueing_fraction:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "cycles", "speedup", "walk queueing share"],
+            rows,
+            title=f"Technique comparison on {benchmark}",
+        )
+    )
+    return 0
+
+
+def cmd_figure(name: str, scale: float | None, save: str | None) -> int:
+    experiment = EXPERIMENTS[name]
+    kwargs = {}
+    if scale is not None and "scale" in experiment.__code__.co_varnames:
+        kwargs["scale"] = scale
+    table = experiment(**kwargs)
+    print(table.render())
+    if save:
+        path = table.save(save)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.benchmark, args.config, args.scale)
+    if args.command == "compare":
+        return cmd_compare(args.benchmark, args.scale)
+    if args.command == "figure":
+        return cmd_figure(args.name, args.scale, args.save)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""Simulation configuration (Table 3 of the paper).
+
+Every architectural knob the evaluation sweeps lives here as a dataclass
+field, with defaults matching the paper's RTX 3070-like configuration:
+46 SMs at 1500 MHz, per-SM 32-entry fully-associative L1 TLBs, a shared
+1024-entry 16-way L2 TLB with 128 MSHRs, a 4 MB L2 data cache, GDDR6
+memory at 448 GB/s over 16 channels, a four-level radix page table with a
+32-entry page walk cache, and 32 hardware page table walkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+KB = 1024
+MB = 1024 * 1024
+
+#: Base page size used throughout the paper's main evaluation.
+PAGE_SIZE_64K = 64 * KB
+#: Large page size used in the Section 6.3 sensitivity study.
+PAGE_SIZE_2M = 2 * MB
+
+#: Virtual/physical address widths (NVIDIA Pascal MMU format, ref [60]).
+VIRTUAL_ADDRESS_BITS = 49
+PHYSICAL_ADDRESS_BITS = 47
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """One TLB level.  ``associativity=0`` means fully associative."""
+
+    entries: int
+    associativity: int
+    latency: int
+    mshr_entries: int
+    mshr_merges: int
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.associativity < 0:
+            raise ValueError("associativity must be >= 0 (0 = fully associative)")
+        if self.associativity and self.entries % self.associativity:
+            raise ValueError("entries must be a multiple of associativity")
+
+    @property
+    def num_sets(self) -> int:
+        if self.associativity == 0:
+            return 1
+        return self.entries // self.associativity
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A data cache level (L1D folded into latency; L2D fully modelled)."""
+
+    size_bytes: int
+    line_bytes: int
+    sector_bytes: int
+    associativity: int
+    latency: int
+    mshr_entries: int
+
+    def __post_init__(self) -> None:
+        if self.line_bytes % self.sector_bytes:
+            raise ValueError("line size must be a multiple of sector size")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("cache size must divide evenly into sets")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """GDDR6 channel model: fixed access latency plus per-channel bandwidth."""
+
+    channels: int = 16
+    latency: int = 250
+    #: Service cycles a 32B sector occupies one channel; derived from
+    #: 448 GB/s aggregate at a 1500 MHz core clock (~18.7 B/cycle/channel).
+    cycles_per_access: int = 2
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("need at least one DRAM channel")
+
+
+@dataclass(frozen=True)
+class PageTableConfig:
+    """Radix page-table geometry."""
+
+    page_size: int = PAGE_SIZE_64K
+    levels: int = 4
+    pte_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.page_size & (self.page_size - 1):
+            raise ValueError("page size must be a power of two")
+        if self.levels < 1:
+            raise ValueError("page table needs at least one level")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.page_size.bit_length() - 1
+
+    @property
+    def vpn_bits(self) -> int:
+        return VIRTUAL_ADDRESS_BITS - self.offset_bits
+
+    @property
+    def pfn_bits(self) -> int:
+        return PHYSICAL_ADDRESS_BITS - self.offset_bits
+
+
+@dataclass(frozen=True)
+class PTWConfig:
+    """Hardware page-walk subsystem: walkers, PWB, and page walk cache."""
+
+    num_walkers: int = 32
+    pwb_entries: int = 64
+    pwb_ports: int = 1
+    pwc_entries: int = 32
+    #: Deepest page-table level whose node pointers the PWC caches.
+    #: 2 = PDE-cache style (walks always read >= 2 PTEs); 1 = aggressive.
+    pwc_min_level: int = 2
+    #: Neighborhood-aware coalescing (NHA baseline): merge pending walks
+    #: whose final-level PTEs share one cache sector.
+    nha_coalescing: bool = False
+    #: "radix" (default) or "hashed" (the FS-HPT baseline).
+    page_table_kind: str = "radix"
+    #: PWB dequeue order: "fcfs", or "sm_batch" — the warp-aware
+    #: page-walk scheduling baseline (ref [85]) that drains walks of one
+    #: requester together to shrink intra-warp completion spread.
+    pwb_policy: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        if self.num_walkers < 0:
+            raise ValueError("number of walkers cannot be negative")
+        if self.num_walkers and self.pwb_entries < 1:
+            raise ValueError("PWB needs at least one entry")
+        if self.page_table_kind not in ("radix", "hashed"):
+            raise ValueError(f"unknown page table kind {self.page_table_kind!r}")
+        if self.pwb_policy not in ("fcfs", "sm_batch"):
+            raise ValueError(f"unknown PWB policy {self.pwb_policy!r}")
+
+
+class DistributorPolicy:
+    """Request Distributor policies evaluated in Figure 26."""
+
+    ROUND_ROBIN = "round_robin"
+    RANDOM = "random"
+    STALL_AWARE = "stall_aware"
+
+    ALL = (ROUND_ROBIN, RANDOM, STALL_AWARE)
+
+
+@dataclass(frozen=True)
+class SoftWalkerConfig:
+    """SoftWalker: PW Warps, SoftPWB, Request Distributor, In-TLB MSHR."""
+
+    enabled: bool = False
+    #: 32 page-walk threads per SM (one PW Warp).
+    pw_threads_per_sm: int = 32
+    softpwb_entries: int = 32
+    #: Maximum L2 TLB entries repurposable as MSHRs (0 disables In-TLB MSHR).
+    in_tlb_mshr_entries: int = 1024
+    #: Keep hardware walkers and overflow to software (Section 5.4).
+    hybrid: bool = False
+    distributor_policy: str = DistributorPolicy.ROUND_ROBIN
+    #: Issue cost of one PW-warp instruction when the SM has free slots.
+    instruction_cycles: int = 4
+    #: Number of instructions per walk level (offset compute, LDPT, FPWC).
+    instructions_per_level: int = 3
+    #: Instructions outside the level loop (request decode, FL2T).
+    instructions_fixed: int = 5
+    #: Ablation: execute the PW warp in strict SIMT lockstep — all 32
+    #: threads advance level-by-level together, each level waiting for
+    #: the slowest LDPT (memory divergence).  The paper's design lets
+    #: threads proceed independently; this knob quantifies why.
+    simt_lockstep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.distributor_policy not in DistributorPolicy.ALL:
+            raise ValueError(f"unknown distributor policy {self.distributor_policy!r}")
+        if self.enabled and self.pw_threads_per_sm < 1:
+            raise ValueError("PW warp needs at least one thread")
+        if self.softpwb_entries < self.pw_threads_per_sm:
+            raise ValueError("SoftPWB must hold at least one entry per PW thread")
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Top-level GPU configuration (Table 3 defaults)."""
+
+    num_sms: int = 46
+    max_warps_per_sm: int = 48
+    warp_width: int = 32
+    #: Warp instructions an SM can issue per cycle.
+    issue_width: int = 1
+
+    l1_tlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(
+            entries=32, associativity=0, latency=10, mshr_entries=32, mshr_merges=192
+        )
+    )
+    l2_tlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(
+            entries=1024, associativity=16, latency=80, mshr_entries=128, mshr_merges=46
+        )
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=128 * KB,
+            line_bytes=128,
+            sector_bytes=32,
+            associativity=4,
+            latency=40,
+            mshr_entries=64,
+        )
+    )
+    l2d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=4 * MB,
+            line_bytes=128,
+            sector_bytes=32,
+            associativity=16,
+            latency=180,
+            mshr_entries=256,
+        )
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    page_table: PageTableConfig = field(default_factory=PageTableConfig)
+    ptw: PTWConfig = field(default_factory=PTWConfig)
+    softwalker: SoftWalkerConfig = field(default_factory=SoftWalkerConfig)
+
+    #: Fixed per-level page-table access latency override; None means the
+    #: latency is measured dynamically through the L2 cache / DRAM model
+    #: (the paper's default).  Figure 23 sweeps this knob.
+    fixed_pt_level_latency: int | None = None
+
+    #: Attach In-TLB MSHRs to a hardware-walker configuration even when
+    #: SoftWalker is disabled (the Figure 21 "128 PTWs + In-TLB" study).
+    hw_in_tlb_mshr: bool = False
+
+    #: CoLT-style L2 TLB coalescing span in pages (power of two; 1
+    #: disables).  One entry covers an aligned block of contiguously
+    #: mapped pages, extending TLB reach (refs [74, 6, 49]).
+    tlb_coalescing_span: int = 1
+
+    #: Avatar-style TLB speculation (ref [72]): guess physical addresses
+    #: from contiguity on L1 TLB misses; correct guesses skip the L2 TLB
+    #: and walk, wrong ones pay a squash penalty and walk normally.
+    tlb_speculation: bool = False
+
+    def derive(self, **overrides: Any) -> "GPUConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **overrides)
+
+    def with_ptw(self, **overrides: Any) -> "GPUConfig":
+        return replace(self, ptw=replace(self.ptw, **overrides))
+
+    def with_softwalker(self, **overrides: Any) -> "GPUConfig":
+        return replace(self, softwalker=replace(self.softwalker, **overrides))
+
+    def with_l2_tlb(self, **overrides: Any) -> "GPUConfig":
+        return replace(self, l2_tlb=replace(self.l2_tlb, **overrides))
+
+    def with_page_size(self, page_size: int) -> "GPUConfig":
+        """Switch page size; 2MB pages use a three-level walk (Section 6.3)."""
+        levels = 3 if page_size >= PAGE_SIZE_2M else 4
+        return replace(
+            self,
+            page_table=replace(self.page_table, page_size=page_size, levels=levels),
+        )
+
+
+def baseline_config() -> GPUConfig:
+    """The paper's baseline: 32 hardware PTWs, 128 L2 TLB MSHRs, 64KB pages."""
+    return GPUConfig()
+
+
+def softwalker_config(
+    *,
+    in_tlb_mshr_entries: int = 1024,
+    hybrid: bool = False,
+    distributor_policy: str = DistributorPolicy.ROUND_ROBIN,
+) -> GPUConfig:
+    """SoftWalker: software walkers (plus hardware ones when hybrid)."""
+    base = baseline_config()
+    return base.derive(
+        ptw=replace(base.ptw, num_walkers=base.ptw.num_walkers if hybrid else 0),
+        softwalker=replace(
+            base.softwalker,
+            enabled=True,
+            in_tlb_mshr_entries=in_tlb_mshr_entries,
+            hybrid=hybrid,
+            distributor_policy=distributor_policy,
+        ),
+    )
+
+
+def nha_config() -> GPUConfig:
+    """Baseline plus Neighborhood-Aware page-walk coalescing (ref [86])."""
+    return baseline_config().with_ptw(nha_coalescing=True)
+
+
+def fshpt_config() -> GPUConfig:
+    """Baseline with a Fixed-Size Hashed Page Table (ref [32])."""
+    return baseline_config().with_ptw(page_table_kind="hashed")
+
+
+def avatar_config() -> GPUConfig:
+    """Baseline plus Avatar-style TLB speculation (ref [72])."""
+    return baseline_config().derive(tlb_speculation=True)
+
+
+def ideal_config() -> GPUConfig:
+    """Ideal PTWs with ideal MSHRs: effectively unbounded concurrency."""
+    base = baseline_config()
+    return base.derive(
+        ptw=replace(
+            base.ptw, num_walkers=1 << 20, pwb_entries=1 << 20, pwb_ports=1 << 20
+        ),
+        l2_tlb=replace(base.l2_tlb, mshr_entries=1 << 20),
+    )

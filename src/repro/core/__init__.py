@@ -1,0 +1,36 @@
+"""SoftWalker: the paper's primary contribution.
+
+PW Warps (software page-table walkers on SM pipelines), the SoftPWB and
+its status bitmap, the SoftWalker Controller, the Request Distributor,
+the LDPT/FL2T/FPWC/FFB ISA extension, and the hybrid HW+SW mode.
+"""
+
+from repro.core.backend import HybridBackend, SoftWalkerBackend
+from repro.core.controller import SoftWalkerController
+from repro.core.distributor import RequestDistributor
+from repro.core.isa import (
+    EXTENSION_OPCODES,
+    ISA_DESCRIPTIONS,
+    PW_WARP_REGISTERS,
+    Instruction,
+    Opcode,
+    PageWalkProgram,
+)
+from repro.core.softpwb import ENTRY_BITS, ENTRY_RESERVED_BITS, SlotState, SoftPWB
+
+__all__ = [
+    "HybridBackend",
+    "SoftWalkerBackend",
+    "SoftWalkerController",
+    "RequestDistributor",
+    "EXTENSION_OPCODES",
+    "ISA_DESCRIPTIONS",
+    "PW_WARP_REGISTERS",
+    "Instruction",
+    "Opcode",
+    "PageWalkProgram",
+    "ENTRY_BITS",
+    "ENTRY_RESERVED_BITS",
+    "SlotState",
+    "SoftPWB",
+]

@@ -1,0 +1,114 @@
+"""Request Distributor: assigns L2 TLB misses to SMs (Section 4.4).
+
+Lives beside the L2 TLB.  A per-core counter tracks how many requests
+are outstanding at each SM so walks are only dispatched to cores whose
+PW Warp has room (counter < SoftPWB capacity); when every core is full,
+requests wait in a global overflow queue and drain as FL2T completions
+decrement the counters.  Three selection policies are modelled — the
+paper compares them in Figure 26 and adopts round-robin.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable
+
+from repro.config import DistributorPolicy
+from repro.ptw.request import WalkRequest
+from repro.sim.stats import StatsRegistry
+
+
+class RequestDistributor:
+    """Per-core counters plus a pluggable core-selection policy."""
+
+    def __init__(
+        self,
+        num_sms: int,
+        capacity_per_sm: int,
+        stats: StatsRegistry,
+        *,
+        policy: str = DistributorPolicy.ROUND_ROBIN,
+        idleness: Callable[[int], int] | None = None,
+        seed: int = 97,
+    ) -> None:
+        if policy not in DistributorPolicy.ALL:
+            raise ValueError(f"unknown distributor policy {policy!r}")
+        if policy == DistributorPolicy.STALL_AWARE and idleness is None:
+            raise ValueError("stall-aware policy needs an idleness probe")
+        self.num_sms = num_sms
+        self.capacity = capacity_per_sm
+        self.stats = stats
+        self.policy = policy
+        self._idleness = idleness
+        self._counters = [0] * num_sms
+        self._cursor = 0
+        self._rng = random.Random(seed)
+        self._overflow: deque[WalkRequest] = deque()
+        #: Wired by the backend: delivers a request to one SM's controller.
+        self.dispatch: Callable[[int, WalkRequest], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Selection (Figure 11, steps 1-3)
+    # ------------------------------------------------------------------
+    def _available(self) -> list[int]:
+        return [sm for sm in range(self.num_sms) if self._counters[sm] < self.capacity]
+
+    def _select(self) -> int | None:
+        available = self._available()
+        if not available:
+            return None
+        if self.policy == DistributorPolicy.RANDOM:
+            return self._rng.choice(available)
+        if self.policy == DistributorPolicy.STALL_AWARE:
+            assert self._idleness is not None
+            return min(available, key=self._idleness)
+        # Round-robin: first available core at or after the cursor.
+        for offset in range(self.num_sms):
+            sm = (self._cursor + offset) % self.num_sms
+            if self._counters[sm] < self.capacity:
+                self._cursor = (sm + 1) % self.num_sms
+                return sm
+        return None
+
+    def submit(self, request: WalkRequest) -> None:
+        """Assign ``request`` to a core, or park it until one frees up."""
+        sm = self._select()
+        if sm is None:
+            self._overflow.append(request)
+            self.stats.counters.add("distributor.overflow")
+            return
+        self._send(sm, request)
+
+    def _send(self, sm: int, request: WalkRequest) -> None:
+        if self.dispatch is None:
+            raise RuntimeError("RequestDistributor.dispatch not wired")
+        self._counters[sm] += 1
+        self.stats.counters.add("distributor.dispatched")
+        self.dispatch(sm, request)
+
+    # ------------------------------------------------------------------
+    # Completion (Figure 11, step 4: FL2T decrements the counter)
+    # ------------------------------------------------------------------
+    def complete(self, sm: int) -> None:
+        if self._counters[sm] <= 0:
+            raise ValueError(f"counter underflow for SM {sm}")
+        self._counters[sm] -= 1
+        if self._overflow:
+            target = self._select()
+            if target is not None:
+                self._send(target, self._overflow.popleft())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counter(self, sm: int) -> int:
+        return self._counters[sm]
+
+    @property
+    def overflow_depth(self) -> int:
+        return len(self._overflow)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(self._counters)

@@ -1,0 +1,85 @@
+"""SoftPWB: the per-SM software page-walk buffer and its status bitmap.
+
+Section 4.4: each SM repurposes a slice of shared memory as a request
+buffer (96 bits per entry: 33-bit VPN, 31-bit node PFN, 2-bit level) and
+the SoftWalker Controller tracks entry state with a 2-bit-per-thread
+bitmap — invalid (no request), valid (ready), processing (walk running).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ptw.request import WalkRequest
+
+#: Bits per SoftPWB entry: VPN + page-table-base PFN + current level.
+ENTRY_BITS = 33 + 31 + 2
+#: Reserved per-entry storage, rounded to a power-of-two slot.
+ENTRY_RESERVED_BITS = 96
+
+
+class SlotState(enum.Enum):
+    INVALID = 0
+    VALID = 1
+    PROCESSING = 2
+
+
+class SoftPWB:
+    """Fixed-capacity request buffer with a 2-bit status per slot."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("SoftPWB needs at least one entry")
+        self.capacity = entries
+        self._slots: list[WalkRequest | None] = [None] * entries
+        self._states: list[SlotState] = [SlotState.INVALID] * entries
+
+    # ------------------------------------------------------------------
+    # Controller-side operations (Figure 11, steps 4-6)
+    # ------------------------------------------------------------------
+    def insert(self, request: WalkRequest) -> int | None:
+        """Fill an invalid slot with a request; returns its index."""
+        for index, state in enumerate(self._states):
+            if state is SlotState.INVALID:
+                self._slots[index] = request
+                self._states[index] = SlotState.VALID
+                return index
+        return None
+
+    def take_valid(self) -> tuple[int, WalkRequest] | None:
+        """Pick a valid entry and mark it processing (walk launch)."""
+        for index, state in enumerate(self._states):
+            if state is SlotState.VALID:
+                self._states[index] = SlotState.PROCESSING
+                request = self._slots[index]
+                assert request is not None
+                return index, request
+        return None
+
+    def complete(self, index: int) -> None:
+        """Walk finished: slot returns to invalid."""
+        if self._states[index] is not SlotState.PROCESSING:
+            raise ValueError(f"slot {index} is not processing")
+        self._states[index] = SlotState.INVALID
+        self._slots[index] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self, index: int) -> SlotState:
+        return self._states[index]
+
+    def count(self, state: SlotState) -> int:
+        return sum(1 for s in self._states if s is state)
+
+    @property
+    def occupied(self) -> int:
+        return self.capacity - self.count(SlotState.INVALID)
+
+    @property
+    def has_space(self) -> bool:
+        return self.count(SlotState.INVALID) > 0
+
+    def bitmap_bits(self) -> int:
+        """Storage the status bitmap costs (2 bits per slot, Section 5.2)."""
+        return 2 * self.capacity

@@ -1,0 +1,267 @@
+"""Full-GPU assembly: wires every substrate into one runnable simulator.
+
+``GPUSimulator(config, workload)`` builds the machine of Figure 2/10 —
+SMs, warps, per-SM L1 TLBs, shared L2 TLB with MSHRs (plus In-TLB MSHR
+when SoftWalker is on), Page Walk Cache, the configured walk backend
+(hardware PTWs, SoftWalker, or hybrid), the L2 data cache and DRAM —
+runs the workload to completion, and returns a
+:class:`SimulationResult` with everything the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.core.backend import HybridBackend, SoftWalkerBackend
+from repro.gpu.faults import FaultBuffer, UVMFaultHandler
+from repro.gpu.sm import SM
+from repro.gpu.translation import TranslationService
+from repro.gpu.warp import Warp
+from repro.memory.hierarchy import MemorySystem
+from repro.ptw.hashed_backend import make_hashed_traversal
+from repro.ptw.subsystem import HardwareWalkBackend
+from repro.ptw.walker import PteMemoryPort
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+from repro.tlb.pwc import PageWalkCache
+from repro.workloads.base import TraceWorkload
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run reports."""
+
+    workload: str
+    cycles: int
+    instructions: int
+    pw_instructions: int
+    stats: StatsRegistry
+    num_sms: int
+    stall_cycles: int
+    memory_wait_cycles: int
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Cycles ratio: >1 means this configuration is faster."""
+        if self.cycles == 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    @property
+    def issued_fraction(self) -> float:
+        slots = self.cycles * self.num_sms
+        if slots == 0:
+            return 0.0
+        return min(1.0, (self.instructions + self.pw_instructions) / slots)
+
+    @property
+    def stall_fraction(self) -> float:
+        return 1.0 - self.issued_fraction
+
+    # ------------------------------------------------------------------
+    # Page-walk latency (Figures 7, 18)
+    # ------------------------------------------------------------------
+    @property
+    def walk_latency(self) -> float:
+        return self.stats.latency("walk").mean_total
+
+    @property
+    def walk_queueing(self) -> float:
+        return self.stats.latency("walk").component_mean("queueing")
+
+    @property
+    def walk_access(self) -> float:
+        return self.stats.latency("walk").component_mean("access")
+
+    @property
+    def walk_overhead(self) -> float:
+        """SoftWalker-only components: communication + instruction execution."""
+        tracker = self.stats.latency("walk")
+        return tracker.component_mean("communication") + tracker.component_mean(
+            "execution"
+        )
+
+    @property
+    def queueing_fraction(self) -> float:
+        return self.stats.latency("walk").component_fraction("queueing")
+
+    # ------------------------------------------------------------------
+    # TLB / memory metrics
+    # ------------------------------------------------------------------
+    @property
+    def l2_tlb_mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.stats.counters.get("l2tlb.demand_misses") / (
+            self.instructions / 1000
+        )
+
+    @property
+    def l2_tlb_hit_rate(self) -> float:
+        return self.stats.counters.ratio("l2tlb.hits", "l2tlb.lookups")
+
+    @property
+    def mshr_failures(self) -> int:
+        return self.stats.counters.get("l2tlb.mshr_failures")
+
+    @property
+    def l2_cache_miss_rate(self) -> float:
+        accesses = self.stats.counters.get("l2d.accesses")
+        if accesses == 0:
+            return 0.0
+        misses = self.stats.counters.get("l2d.misses") + self.stats.counters.get(
+            "l2d.sector_misses"
+        )
+        return misses / accesses
+
+    @property
+    def walks_completed(self) -> int:
+        return self.stats.counters.get("walks.completed")
+
+    @property
+    def mean_memory_latency(self) -> float:
+        """Average per-memory-instruction wait (the Figure 4 metric)."""
+        insts = self.stats.counters.get("gpu.mem_instructions")
+        if insts == 0:
+            return 0.0
+        return self.memory_wait_cycles / insts
+
+
+class GPUSimulator:
+    """One configured GPU executing one workload."""
+
+    def __init__(self, config: GPUConfig, workload: TraceWorkload) -> None:
+        if workload.config.page_table != config.page_table:
+            raise ValueError("workload was generated for a different page-table setup")
+        self.config = config
+        self.workload = workload
+        self.engine = Engine()
+        self.stats = StatsRegistry()
+        self.space = workload.space
+        self.memory = MemorySystem(config, self.stats)
+        self.sms = [SM(i, self.stats) for i in range(config.num_sms)]
+        self.pwc = PageWalkCache(
+            config.ptw.pwc_entries,
+            self.space.layout,
+            self.space.radix.root_base,
+            self.stats,
+            min_level=config.ptw.pwc_min_level,
+        )
+        self._pte_port = PteMemoryPort(self.memory, config.fixed_pt_level_latency)
+        self.backend = self._build_backend()
+        self.fault_buffer = FaultBuffer(self.stats)
+        self.fault_handler = UVMFaultHandler(
+            self.engine, self.space, self.fault_buffer, self.backend.submit
+        )
+        self.translation = TranslationService(
+            self.engine,
+            config,
+            self.space,
+            self.pwc,
+            self.backend,
+            self.stats,
+            fault_handler=self.fault_handler,
+        )
+        self._warps = self._build_warps()
+        self._warps_remaining = len(self._warps)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_backend(self):
+        sw_config = self.config.softwalker
+        hardware = None
+        if self.config.ptw.num_walkers > 0:
+            traversal = None
+            pwc = self.pwc
+            if self.config.ptw.page_table_kind == "hashed":
+                if self.space.hashed is None:
+                    raise ValueError("hashed page table requested but not built")
+                traversal = make_hashed_traversal(self.space.hashed, self._pte_port)
+                pwc = None
+            hardware = HardwareWalkBackend(
+                self.engine,
+                self.config.ptw,
+                self.space.radix,
+                self._pte_port,
+                pwc,
+                self.stats,
+                traversal=traversal,
+            )
+        if not sw_config.enabled:
+            if hardware is None:
+                raise ValueError("no walk backend: zero PTWs and SoftWalker disabled")
+            return hardware
+        software = SoftWalkerBackend(
+            self.engine,
+            self.config,
+            self.sms,
+            self.space.radix,
+            self._pte_port,
+            self.pwc,
+            self.stats,
+        )
+        if sw_config.hybrid:
+            if hardware is None:
+                raise ValueError("hybrid mode needs hardware walkers")
+            return HybridBackend(hardware, software)
+        return software
+
+    def _build_warps(self) -> list[Warp]:
+        warps = []
+        page_size = self.config.page_table.page_size
+        warp_id = 0
+        for sm_id, sm_traces in enumerate(self.workload.traces):
+            for trace in sm_traces:
+                warps.append(
+                    Warp(
+                        warp_id,
+                        self.sms[sm_id],
+                        self.engine,
+                        self.translation,
+                        self.memory,
+                        page_size,
+                        trace,
+                        self._warp_done,
+                    )
+                )
+                warp_id += 1
+                self.stats.counters.add(
+                    "gpu.mem_instructions",
+                    sum(1 for inst in trace if inst[0] == "m"),
+                )
+        return warps
+
+    def _warp_done(self, _warp: Warp) -> None:
+        self._warps_remaining -= 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, *, max_events: int | None = None) -> SimulationResult:
+        for warp in self._warps:
+            warp.start()
+        self.engine.run(max_events=max_events)
+        if self._warps_remaining:
+            raise RuntimeError(
+                f"simulation drained with {self._warps_remaining} warps unfinished "
+                f"(event starvation — likely a wiring bug)"
+            )
+        cycles = self.engine.now
+        instructions = sum(sm.user_issued for sm in self.sms)
+        pw_instructions = sum(sm.pw_issued for sm in self.sms)
+        issued_slots = instructions + pw_instructions
+        stall = max(0, cycles * self.config.num_sms - issued_slots)
+        return SimulationResult(
+            workload=self.workload.spec.name,
+            cycles=cycles,
+            instructions=instructions,
+            pw_instructions=pw_instructions,
+            stats=self.stats,
+            num_sms=self.config.num_sms,
+            stall_cycles=stall,
+            memory_wait_cycles=sum(sm.memory_wait for sm in self.sms),
+        )

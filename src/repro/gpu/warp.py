@@ -1,0 +1,168 @@
+"""Warps: trace-driven instruction execution with memory coalescing.
+
+A warp's trace alternates compute blocks and memory instructions.  A
+memory instruction carries the warp's already-coalesced set of unique
+virtual cache lines (up to 32 — one per lane under full divergence).
+The warp groups lines by page, requests one translation per unique page
+(this is what generates translation pressure), then performs the data
+accesses and blocks until every lane completes — the baseline GPU's
+behaviour that page-walk scheduling work (ref [85]) tries to soften.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+#: Cache-line size in bytes and its log2 (virtual lines are VA // 128).
+LINE_BYTES = 128
+LINE_SHIFT = 7
+
+#: Instruction kinds in a warp trace.
+COMPUTE = "c"
+MEMORY = "m"
+
+Instruction = tuple  # ("c", cycles) | ("m", (vline, ...))
+
+
+def coalesce_lines(virtual_addresses: Iterable[int]) -> tuple[int, ...]:
+    """Coalesce per-lane byte addresses into unique virtual lines."""
+    return tuple(sorted({va >> LINE_SHIFT for va in virtual_addresses}))
+
+
+def group_by_page(vlines: Sequence[int], lines_per_page: int) -> dict[int, list[int]]:
+    """Split coalesced lines by virtual page; keys are VPNs."""
+    groups: dict[int, list[int]] = {}
+    for vline in vlines:
+        groups.setdefault(vline // lines_per_page, []).append(vline)
+    return groups
+
+
+class Warp:
+    """One warp executing a pre-generated trace on an SM."""
+
+    __slots__ = (
+        "warp_id",
+        "sm",
+        "engine",
+        "translation",
+        "memory",
+        "page_shift",
+        "lines_per_page",
+        "instructions",
+        "on_done",
+        "_ip",
+        "_pending_pages",
+        "_mem_done",
+        "_mem_first",
+        "_issue_time",
+        "finished_at",
+    )
+
+    def __init__(
+        self,
+        warp_id: int,
+        sm,
+        engine,
+        translation,
+        memory,
+        page_size: int,
+        instructions: list[Instruction],
+        on_done: Callable[["Warp"], None],
+    ) -> None:
+        self.warp_id = warp_id
+        self.sm = sm
+        self.engine = engine
+        self.translation = translation
+        self.memory = memory
+        self.page_shift = page_size.bit_length() - 1
+        self.lines_per_page = page_size // LINE_BYTES
+        self.instructions = instructions
+        self.on_done = on_done
+        self._ip = 0
+        self._pending_pages = 0
+        self._mem_done = 0
+        self._mem_first: int | None = None
+        self._issue_time = 0
+        self.finished_at: int | None = None
+
+    def start(self) -> None:
+        self.sm.active_warps += 1
+        self.engine.schedule(0, self._advance)
+
+    # ------------------------------------------------------------------
+    # Execution loop
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.engine.now
+        # Fold consecutive compute blocks into one issue burst.
+        compute_cycles = 0
+        while self._ip < len(self.instructions) and self.instructions[self._ip][0] == COMPUTE:
+            compute_cycles += self.instructions[self._ip][1]
+            self._ip += 1
+        if compute_cycles:
+            ready = self.sm.issue(compute_cycles, now)
+            self.engine.schedule_at(ready, self._advance)
+            return
+        if self._ip >= len(self.instructions):
+            self._finish(now)
+            return
+        _kind, vlines = self.instructions[self._ip]
+        self._ip += 1
+        self._execute_memory(vlines, now)
+
+    def _execute_memory(self, vlines: Sequence[int], now: int) -> None:
+        issue_done = self.sm.issue(1, now)
+        self._issue_time = issue_done
+        self._mem_done = issue_done
+        self._mem_first = None
+        groups = group_by_page(vlines, self.lines_per_page)
+        # Guard against synchronous callbacks (TLB hits) completing the
+        # group count before every request is issued.
+        self._pending_pages = len(groups) + 1
+        sm_id = self.sm.sm_id
+        for vpn, lines in groups.items():
+            self.translation.request(
+                sm_id, vpn, issue_done, self._make_callback(lines)
+            )
+        self._page_done(issue_done)
+
+    def _make_callback(self, lines: list[int]) -> Callable[[int, int], None]:
+        line_mask = self.lines_per_page - 1
+        page_shift = self.page_shift
+        sm_id = self.sm.sm_id
+
+        def on_translated(time: int, pfn: int) -> None:
+            done = time
+            frame_base = pfn << page_shift
+            for vline in lines:
+                address = frame_base | ((vline & line_mask) << LINE_SHIFT)
+                completion = self.memory.data_access(sm_id, address, time)
+                if completion > done:
+                    done = completion
+            self._page_done(done)
+
+        return on_translated
+
+    def _page_done(self, done: int) -> None:
+        if done > self._mem_done:
+            self._mem_done = done
+        if done > self._issue_time and (
+            self._mem_first is None or done < self._mem_first
+        ):
+            self._mem_first = done
+        self._pending_pages -= 1
+        if self._pending_pages == 0:
+            self.sm.record_memory_wait(self._mem_done - self._issue_time)
+            if self._mem_first is not None:
+                # Intra-warp completion spread: what page-walk scheduling
+                # (ref [85]) tries to shrink — the warp waits for its
+                # slowest lane regardless of how early the first returned.
+                self.sm.stats.histogram("warp.mem_spread").record(
+                    self._mem_done - self._mem_first
+                )
+            self.engine.schedule_at(max(self.engine.now, self._mem_done), self._advance)
+
+    def _finish(self, now: int) -> None:
+        self.finished_at = now
+        self.sm.active_warps -= 1
+        self.on_done(self)

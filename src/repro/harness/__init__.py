@@ -1,0 +1,17 @@
+"""Experiment harness: runners and per-figure experiment definitions."""
+
+from repro.harness.runner import (
+    build_workload,
+    default_scale,
+    run_matrix,
+    run_workload,
+    speedups,
+)
+
+__all__ = [
+    "build_workload",
+    "default_scale",
+    "run_matrix",
+    "run_workload",
+    "speedups",
+]

@@ -1,0 +1,132 @@
+"""Experiment runner: builds a workload, runs a configuration, sweeps.
+
+The trace for a given benchmark is deterministic in its name, so every
+configuration of a sweep replays the identical workload — speedups are
+cycles ratios over the same work.
+
+``REPRO_SCALE`` (float, default 1.0) scales trace length globally:
+tests run at tiny scales, benches at 1.0, and patient users can crank
+it up for smoother numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Mapping
+
+from repro.config import GPUConfig
+from repro.gpu.gpu import GPUSimulator, SimulationResult
+from repro.workloads.base import TraceWorkload, WorkloadSpec
+from repro.workloads.catalog import get_spec
+
+_SCALE_ENV = "REPRO_SCALE"
+
+
+def default_scale() -> float:
+    """Trace-length multiplier from the environment (default 1.0)."""
+    value = os.environ.get(_SCALE_ENV)
+    if value is None:
+        return 1.0
+    scale = float(value)
+    if scale <= 0:
+        raise ValueError(f"{_SCALE_ENV} must be positive, got {value!r}")
+    return scale
+
+
+def build_workload(
+    benchmark: str | WorkloadSpec,
+    config: GPUConfig,
+    *,
+    scale: float | None = None,
+    footprint_scale: float = 1.0,
+    seed: int | None = None,
+) -> TraceWorkload:
+    spec = get_spec(benchmark) if isinstance(benchmark, str) else benchmark
+    return TraceWorkload(
+        spec,
+        config,
+        scale=scale if scale is not None else default_scale(),
+        footprint_scale=footprint_scale,
+        seed=seed,
+    )
+
+
+def run_workload(
+    config: GPUConfig,
+    benchmark: str | WorkloadSpec,
+    *,
+    scale: float | None = None,
+    footprint_scale: float = 1.0,
+    seed: int | None = None,
+) -> SimulationResult:
+    """Build the benchmark's trace under ``config`` and simulate it."""
+    workload = build_workload(
+        benchmark,
+        config,
+        scale=scale,
+        footprint_scale=footprint_scale,
+        seed=seed,
+    )
+    return GPUSimulator(config, workload).run()
+
+
+#: Memoised results: identical (config, benchmark, scale) runs are
+#: deterministic, so figures sharing configurations reuse each other's
+#: simulations within one process.
+_CACHE: dict[tuple, SimulationResult] = {}
+
+
+def run_cached(
+    config: GPUConfig,
+    benchmark: str | WorkloadSpec,
+    *,
+    scale: float | None = None,
+    footprint_scale: float = 1.0,
+) -> SimulationResult:
+    """Like :func:`run_workload`, but memoised for the process lifetime."""
+    spec = get_spec(benchmark) if isinstance(benchmark, str) else benchmark
+    effective_scale = scale if scale is not None else default_scale()
+    key = (config, spec.abbr, effective_scale, footprint_scale)
+    if key not in _CACHE:
+        _CACHE[key] = run_workload(
+            config, spec, scale=effective_scale, footprint_scale=footprint_scale
+        )
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_matrix(
+    configs: Mapping[str, GPUConfig],
+    benchmarks: Iterable[str | WorkloadSpec],
+    *,
+    scale: float | None = None,
+    footprint_scale: float = 1.0,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Run every (config, benchmark) pair; keys are (config_label, abbr)."""
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for benchmark in benchmarks:
+        spec = get_spec(benchmark) if isinstance(benchmark, str) else benchmark
+        for label, config in configs.items():
+            results[(label, spec.abbr)] = run_workload(
+                config,
+                spec,
+                scale=scale,
+                footprint_scale=footprint_scale,
+            )
+    return results
+
+
+def speedups(
+    results: Mapping[tuple[str, str], SimulationResult],
+    *,
+    baseline_label: str,
+) -> dict[tuple[str, str], float]:
+    """Per-(label, benchmark) speedup over the baseline configuration."""
+    out: dict[tuple[str, str], float] = {}
+    for (label, abbr), result in results.items():
+        baseline = results[(baseline_label, abbr)]
+        out[(label, abbr)] = result.speedup_over(baseline)
+    return out

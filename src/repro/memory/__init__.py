@@ -1,0 +1,17 @@
+"""Memory substrate: DRAM channels, sectored caches, replacement policies."""
+
+from repro.memory.cache import SectoredCache
+from repro.memory.dram import CHANNEL_INTERLEAVE_BYTES, DRAM
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.replacement import FIFOPolicy, LRUPolicy, ReplacementPolicy, make_policy
+
+__all__ = [
+    "SectoredCache",
+    "CHANNEL_INTERLEAVE_BYTES",
+    "DRAM",
+    "MemorySystem",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

@@ -1,0 +1,158 @@
+"""Sectored set-associative cache with miss merging.
+
+Models the GPU L2 data cache: 128B lines split into 32B sectors, LRU
+replacement, and an MSHR file that merges accesses to a sector that is
+already being fetched.  Timing is timestamp-based: ``access`` returns
+the cycle at which the requested sector is available, issuing a DRAM
+access for misses.  Page-table entries are cached here (and only here,
+following the paper's footnote 2), so page-walk cost is priced by real
+cache behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.config import CacheConfig
+from repro.memory.dram import DRAM
+from repro.memory.replacement import LRUPolicy
+from repro.sim.stats import StatsRegistry
+
+
+class _Line:
+    """One resident cache line: per-sector fill times."""
+
+    __slots__ = ("tag", "sector_ready")
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+        #: sector index -> cycle at which its data is (or will be) valid.
+        self.sector_ready: dict[int, int] = {}
+
+
+class SectoredCache:
+    """Set-associative sectored cache in front of a next-level port.
+
+    ``next_level`` needs one method, ``access(address, start) -> completion``
+    — DRAM provides it directly, and an L2 cache can be adapted behind the
+    same interface so the class also serves as the per-SM L1D.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        next_level: DRAM,
+        stats: StatsRegistry,
+        *,
+        name: str = "l2d",
+    ) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.stats = stats
+        self.name = name
+        self._num_sets = config.num_sets
+        self._sets: list[dict[int, _Line]] = [{} for _ in range(self._num_sets)]
+        self._policies = [LRUPolicy() for _ in range(self._num_sets)]
+        self._way_of: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
+        self._free_ways: list[list[int]] = [
+            list(range(config.associativity)) for _ in range(self._num_sets)
+        ]
+        self._tick = 0
+        #: Min-heap of outstanding miss completion times (MSHR occupancy).
+        self._outstanding: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def _split(self, address: int) -> tuple[int, int, int]:
+        line_addr = address // self.config.line_bytes
+        sector = (address % self.config.line_bytes) // self.config.sector_bytes
+        return line_addr % self._num_sets, line_addr // self._num_sets, sector
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, address: int, now: int) -> tuple[int, bool]:
+        """Read one sector.  Returns ``(completion_cycle, was_hit)``.
+
+        A "hit" means the sector was already resident or being fetched
+        (miss-merge); a miss allocates and fetches from DRAM.
+        """
+        set_index, tag, sector = self._split(address)
+        self._tick += 1
+        lookup_done = now + self.config.latency
+        cache_set = self._sets[set_index]
+        self.stats.counters.add(f"{self.name}.accesses")
+
+        line = cache_set.get(tag)
+        if line is not None:
+            way = self._way_of[set_index][tag]
+            self._policies[set_index].touch(way, self._tick)
+            ready = line.sector_ready.get(sector)
+            if ready is not None:
+                if ready > lookup_done:
+                    self.stats.counters.add(f"{self.name}.merges")
+                    return ready, True
+                self.stats.counters.add(f"{self.name}.hits")
+                return lookup_done, True
+            # Line resident but sector absent: sector miss.
+            completion = self._fetch(address, lookup_done)
+            line.sector_ready[sector] = completion
+            self.stats.counters.add(f"{self.name}.sector_misses")
+            return completion, False
+
+        # Full line miss: allocate a way.
+        line = self._allocate(set_index, tag)
+        completion = self._fetch(address, lookup_done)
+        line.sector_ready[sector] = completion
+        self.stats.counters.add(f"{self.name}.misses")
+        return completion, False
+
+    def _fetch(self, address: int, start: int) -> int:
+        """Send a sector fetch to DRAM, respecting MSHR capacity."""
+        while self._outstanding and self._outstanding[0] <= start:
+            heapq.heappop(self._outstanding)
+        if len(self._outstanding) >= self.config.mshr_entries:
+            # All MSHRs busy: the request stalls until one frees up.
+            self.stats.counters.add(f"{self.name}.mshr_full")
+            start = max(start, heapq.heappop(self._outstanding))
+        completion = self.next_level.access(address, start)
+        heapq.heappush(self._outstanding, completion)
+        return completion
+
+    def _allocate(self, set_index: int, tag: int) -> _Line:
+        cache_set = self._sets[set_index]
+        policy = self._policies[set_index]
+        free = self._free_ways[set_index]
+        if free:
+            way = free.pop()
+        else:
+            way = policy.victim(list(self._way_of[set_index].values()))
+            victim_tag = next(
+                t for t, w in self._way_of[set_index].items() if w == way
+            )
+            del cache_set[victim_tag]
+            del self._way_of[set_index][victim_tag]
+            policy.forget(way)
+            self.stats.counters.add(f"{self.name}.evictions")
+        line = _Line(tag)
+        cache_set[tag] = line
+        self._way_of[set_index][tag] = way
+        policy.touch(way, self._tick)
+        return line
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def miss_rate(self) -> float:
+        """Fraction of accesses that went to DRAM (full or sector misses)."""
+        accesses = self.stats.counters.get(f"{self.name}.accesses")
+        if accesses == 0:
+            return 0.0
+        misses = self.stats.counters.get(
+            f"{self.name}.misses"
+        ) + self.stats.counters.get(f"{self.name}.sector_misses")
+        return misses / accesses
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,60 @@
+"""Assembled memory system: per-SM L1 data caches, shared L2, DRAM.
+
+Two access paths matter to the paper:
+
+* **Data accesses** from user warps go through their SM's L1D, then the
+  shared L2, then DRAM.
+* **PTE accesses** from page walkers (hardware or PW Warps) go straight
+  to the L2 — PTEs are cached only in L2, following footnote 2 of the
+  paper ("the page walk traffic does not affect the L1D cache").
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.memory.cache import SectoredCache
+from repro.memory.dram import DRAM
+from repro.sim.stats import StatsRegistry
+
+
+class _CachePort:
+    """Adapts a cache's ``(completion, hit)`` access to a next-level port."""
+
+    __slots__ = ("_cache",)
+
+    def __init__(self, cache: SectoredCache) -> None:
+        self._cache = cache
+
+    def access(self, address: int, start: int) -> int:
+        completion, _hit = self._cache.access(address, start)
+        return completion
+
+
+class MemorySystem:
+    """The GPU's data-side memory hierarchy."""
+
+    def __init__(self, config: GPUConfig, stats: StatsRegistry) -> None:
+        self.config = config
+        self.stats = stats
+        self.dram = DRAM(config.dram, stats)
+        self.l2 = SectoredCache(config.l2d, self.dram, stats, name="l2d")
+        l2_port = _CachePort(self.l2)
+        self.l1s = [
+            SectoredCache(config.l1d, l2_port, stats, name="l1d")
+            for _ in range(config.num_sms)
+        ]
+
+    def data_access(self, sm_id: int, address: int, now: int) -> int:
+        """A user warp's global load/store; returns completion cycle."""
+        self.stats.counters.add("mem.data_accesses")
+        completion, _hit = self.l1s[sm_id].access(address, now)
+        return completion
+
+    def pte_access(self, address: int, now: int) -> int:
+        """A page-walker PTE read (L2 + DRAM only); returns completion cycle."""
+        self.stats.counters.add("mem.pte_accesses")
+        completion, _hit = self.l2.access(address, now)
+        return completion
+
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate()

@@ -1,0 +1,74 @@
+"""Replacement policies shared by caches and TLBs.
+
+Each policy manages recency metadata for one set and answers "which way
+do I evict?".  Policies are deliberately tiny objects — a cache holds
+one per set — so the hot update path stays cheap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection within one set."""
+
+    @abstractmethod
+    def touch(self, way: int, tick: int) -> None:
+        """Record a use of ``way`` at logical time ``tick``."""
+
+    @abstractmethod
+    def victim(self, candidate_ways: list[int]) -> int:
+        """Choose which of ``candidate_ways`` to evict."""
+
+    @abstractmethod
+    def forget(self, way: int) -> None:
+        """Drop metadata for an invalidated way."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used via last-touch timestamps."""
+
+    def __init__(self) -> None:
+        self._last_use: dict[int, int] = {}
+
+    def touch(self, way: int, tick: int) -> None:
+        self._last_use[way] = tick
+
+    def victim(self, candidate_ways: list[int]) -> int:
+        if not candidate_ways:
+            raise ValueError("no candidate ways to evict")
+        return min(candidate_ways, key=lambda way: self._last_use.get(way, -1))
+
+    def forget(self, way: int) -> None:
+        self._last_use.pop(way, None)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: eviction order follows insertion order."""
+
+    def __init__(self) -> None:
+        self._inserted: dict[int, int] = {}
+        self._tick = 0
+
+    def touch(self, way: int, tick: int) -> None:
+        if way not in self._inserted:
+            self._inserted[way] = self._tick
+            self._tick += 1
+
+    def victim(self, candidate_ways: list[int]) -> int:
+        if not candidate_ways:
+            raise ValueError("no candidate ways to evict")
+        return min(candidate_ways, key=lambda way: self._inserted.get(way, -1))
+
+    def forget(self, way: int) -> None:
+        self._inserted.pop(way, None)
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Factory used by config-driven construction."""
+    policies = {"lru": LRUPolicy, "fifo": FIFOPolicy}
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None

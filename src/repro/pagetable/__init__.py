@@ -1,0 +1,23 @@
+"""Page-table substrate: address math, allocation, radix and hashed tables."""
+
+from repro.pagetable.address import RADIX_BITS_PER_LEVEL, AddressLayout
+from repro.pagetable.allocator import FrameAllocator, OutOfMemoryError, PhysicalMemoryMap
+from repro.pagetable.hashed import HashedLookup, HashedPageTable
+from repro.pagetable.radix import NODE_BYTES, PTE_BYTES, PageFault, RadixPageTable, WalkStep
+from repro.pagetable.space import AddressSpace
+
+__all__ = [
+    "RADIX_BITS_PER_LEVEL",
+    "AddressLayout",
+    "FrameAllocator",
+    "OutOfMemoryError",
+    "PhysicalMemoryMap",
+    "HashedLookup",
+    "HashedPageTable",
+    "NODE_BYTES",
+    "PTE_BYTES",
+    "PageFault",
+    "RadixPageTable",
+    "WalkStep",
+    "AddressSpace",
+]

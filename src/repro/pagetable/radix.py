@@ -1,0 +1,197 @@
+"""Four-level radix page table with physically addressed table nodes.
+
+Every table node occupies a real span of physical memory (512 PTEs of
+8 bytes = 4KB), so a simulated page walk issues *genuine* physical memory
+accesses: one PTE read per level at ``node_base + index * 8``.  This is
+what lets the cache/DRAM model price each walk dynamically, exactly as
+the paper's methodology describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pagetable.address import RADIX_BITS_PER_LEVEL, AddressLayout
+from repro.pagetable.allocator import FrameAllocator
+
+#: Physical footprint of one table node.
+NODE_BYTES = (1 << RADIX_BITS_PER_LEVEL) * 8
+PTE_BYTES = 8
+
+
+class PageFault(Exception):
+    """Raised when translation reaches an invalid PTE."""
+
+    def __init__(self, vpn: int, level: int) -> None:
+        super().__init__(f"page fault for vpn={vpn:#x} at level {level}")
+        self.vpn = vpn
+        self.level = level
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One PTE read during a page walk."""
+
+    level: int
+    #: Physical byte address of the PTE being read.
+    pte_address: int
+    #: For non-leaf levels the next node's physical base; for the leaf the PFN.
+    value: int
+    is_leaf: bool
+    #: False when the PTE is invalid (page fault at this level).
+    valid: bool = True
+
+
+class _Node:
+    """One radix table node: sparse children plus its physical placement."""
+
+    __slots__ = ("phys_base", "children", "leaves")
+
+    def __init__(self, phys_base: int) -> None:
+        self.phys_base = phys_base
+        self.children: dict[int, _Node] = {}
+        self.leaves: dict[int, int] = {}
+
+    def pte_address(self, index: int) -> int:
+        return self.phys_base + index * PTE_BYTES
+
+
+class RadixPageTable:
+    """A multi-level radix page table backed by physical frames.
+
+    Table nodes are sub-allocated 4KB at a time out of frames taken from
+    a dedicated page-table :class:`FrameAllocator`, mirroring how an OS
+    places page-table pages in physical memory.
+    """
+
+    def __init__(self, layout: AddressLayout, pt_allocator: FrameAllocator) -> None:
+        self.layout = layout
+        self._allocator = pt_allocator
+        self._frame_cursor: int | None = None
+        self._frame_used = 0
+        self._node_count = 0
+        self._mapped_pages = 0
+        self._root = self._new_node()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _new_node(self) -> _Node:
+        if self._frame_cursor is None or self._frame_used + NODE_BYTES > self.layout.page_size:
+            frame = self._allocator.allocate()
+            self._frame_cursor = self.layout.physical_address(frame)
+            self._frame_used = 0
+        base = self._frame_cursor + self._frame_used
+        self._frame_used += NODE_BYTES
+        self._node_count += 1
+        return _Node(base)
+
+    def map(self, vpn: int, pfn: int) -> None:
+        """Install a vpn -> pfn translation, creating intermediate nodes."""
+        if vpn > self.layout.max_vpn():
+            raise ValueError(f"vpn {vpn:#x} exceeds {self.layout.vpn_bits}-bit space")
+        node = self._root
+        for level in range(self.layout.levels, 1, -1):
+            index = self.layout.level_index(vpn, level)
+            child = node.children.get(index)
+            if child is None:
+                child = self._new_node()
+                node.children[index] = child
+            node = child
+        leaf_index = self.layout.level_index(vpn, 1)
+        if leaf_index not in node.leaves:
+            self._mapped_pages += 1
+        node.leaves[leaf_index] = pfn
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def translate(self, vpn: int) -> int:
+        """Return the PFN for ``vpn`` or raise :class:`PageFault`."""
+        node = self._root
+        for level in range(self.layout.levels, 1, -1):
+            index = self.layout.level_index(vpn, level)
+            child = node.children.get(index)
+            if child is None:
+                raise PageFault(vpn, level)
+            node = child
+        leaf_index = self.layout.level_index(vpn, 1)
+        if leaf_index not in node.leaves:
+            raise PageFault(vpn, 1)
+        return node.leaves[leaf_index]
+
+    def is_mapped(self, vpn: int) -> bool:
+        try:
+            self.translate(vpn)
+        except PageFault:
+            return False
+        return True
+
+    def walk_path(self, vpn: int, start_level: int | None = None) -> list[WalkStep]:
+        """The sequence of PTE reads a walk of ``vpn`` performs.
+
+        Args:
+            start_level: level of the first table to consult (a Page Walk
+                Cache hit lets walks skip upper levels).  Defaults to the
+                root.  The walk reads one PTE at each level from
+                ``start_level`` down to 1, stopping early on a fault.
+        """
+        if start_level is None:
+            start_level = self.layout.levels
+        if not 1 <= start_level <= self.layout.levels:
+            raise ValueError(f"start level {start_level} outside table")
+
+        node = self._node_at(vpn, start_level)
+        steps: list[WalkStep] = []
+        if node is None:
+            # The upper path is unmapped; report a fault at the entry level.
+            steps.append(
+                WalkStep(start_level, self._root.pte_address(0), 0, False, valid=False)
+            )
+            return steps
+
+        for level in range(start_level, 1, -1):
+            index = self.layout.level_index(vpn, level)
+            child = node.children.get(index)
+            if child is None:
+                steps.append(WalkStep(level, node.pte_address(index), 0, False, valid=False))
+                return steps
+            steps.append(WalkStep(level, node.pte_address(index), child.phys_base, False))
+            node = child
+
+        leaf_index = self.layout.level_index(vpn, 1)
+        pfn = node.leaves.get(leaf_index)
+        if pfn is None:
+            steps.append(WalkStep(1, node.pte_address(leaf_index), 0, True, valid=False))
+        else:
+            steps.append(WalkStep(1, node.pte_address(leaf_index), pfn, True))
+        return steps
+
+    def node_base(self, vpn: int, level: int) -> int | None:
+        """Physical base of the table node serving ``vpn`` at ``level``."""
+        node = self._node_at(vpn, level)
+        return node.phys_base if node is not None else None
+
+    def _node_at(self, vpn: int, level: int) -> _Node | None:
+        node = self._root
+        for lvl in range(self.layout.levels, level, -1):
+            index = self.layout.level_index(vpn, lvl)
+            node = node.children.get(index)
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mapped_pages(self) -> int:
+        return self._mapped_pages
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    @property
+    def root_base(self) -> int:
+        return self._root.phys_base

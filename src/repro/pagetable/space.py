@@ -1,0 +1,65 @@
+"""Process address space: allocator + page table(s) behind one facade.
+
+The GPU driver in a real system populates page tables before (or during,
+with demand paging) kernel execution.  :class:`AddressSpace` plays that
+role for the simulator: workloads touch virtual pages, and the space
+lazily allocates physical frames and installs translations into the
+radix page table (and, when FS-HPT is modelled, the hashed mirror).
+"""
+
+from __future__ import annotations
+
+from repro.config import PageTableConfig
+from repro.pagetable.address import AddressLayout
+from repro.pagetable.allocator import PhysicalMemoryMap
+from repro.pagetable.hashed import HashedPageTable
+from repro.pagetable.radix import RadixPageTable
+
+
+class AddressSpace:
+    """One process's virtual address space on the simulated GPU."""
+
+    def __init__(
+        self,
+        config: PageTableConfig,
+        *,
+        with_hashed_table: bool = False,
+        hashed_slots: int = 1 << 20,
+        shuffle_seed: int | None = 1234,
+    ) -> None:
+        self.config = config
+        self.layout = AddressLayout.from_config(config)
+        self.memory = PhysicalMemoryMap(config.pfn_bits, shuffle_seed=shuffle_seed)
+        self.radix = RadixPageTable(self.layout, self.memory.page_table_region)
+        self.hashed: HashedPageTable | None = None
+        if with_hashed_table:
+            self.hashed = HashedPageTable(
+                self.layout, self.memory.page_table_region, num_slots=hashed_slots
+            )
+
+    def ensure_mapped(self, vpn: int) -> int:
+        """Map ``vpn`` if needed; returns its PFN."""
+        try:
+            return self.radix.translate(vpn)
+        except Exception:
+            pfn = self.memory.data_region.allocate()
+            self.radix.map(vpn, pfn)
+            if self.hashed is not None:
+                self.hashed.map(vpn, pfn)
+            return pfn
+
+    def map_range(self, first_vpn: int, num_pages: int) -> None:
+        """Eagerly map a contiguous virtual range (driver-style prefill)."""
+        for vpn in range(first_vpn, first_vpn + num_pages):
+            self.ensure_mapped(vpn)
+
+    def translate(self, vpn: int) -> int:
+        return self.radix.translate(vpn)
+
+    @property
+    def mapped_pages(self) -> int:
+        return self.radix.mapped_pages
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.radix.mapped_pages * self.config.page_size

@@ -1,0 +1,14 @@
+"""Hardware page-walk subsystem: PWB, walkers, NHA coalescing."""
+
+from repro.ptw.request import WalkRequest
+from repro.ptw.subsystem import NHA_SPAN_PTES, HardwareWalkBackend
+from repro.ptw.walker import PteMemoryPort, WalkOutcome, execute_walk
+
+__all__ = [
+    "WalkRequest",
+    "NHA_SPAN_PTES",
+    "HardwareWalkBackend",
+    "PteMemoryPort",
+    "WalkOutcome",
+    "execute_walk",
+]

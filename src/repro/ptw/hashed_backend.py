@@ -1,0 +1,41 @@
+"""FS-HPT traversal strategy (ref [32]).
+
+FS-HPT keeps the hardware walker pool but replaces the radix pointer
+chase with hashed page-table probes: usually a single memory access,
+plus one per linear-probe collision.  Plugged into
+:class:`~repro.ptw.subsystem.HardwareWalkBackend` as its ``traversal``
+— the PWB, ports and walker-count limits are unchanged, which is
+exactly why FS-HPT still suffers PTW contention in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pagetable.hashed import HashedPageTable
+from repro.ptw.walker import PteMemoryPort, WalkOutcome
+
+
+def make_hashed_traversal(
+    hashed_table: HashedPageTable, pte_port: PteMemoryPort
+) -> Callable[[int, int, int], WalkOutcome]:
+    """Build a traversal callable for a hashed page table."""
+
+    def traverse(vpn: int, _start_level: int, begin: int) -> WalkOutcome:
+        pfn, probe_addresses = hashed_table.probe(vpn)
+        t = begin
+        leaf_address = None
+        for address in probe_addresses:
+            t = pte_port.read(address, t)
+            leaf_address = address
+        return WalkOutcome(
+            pfn=pfn,
+            finish_time=t,
+            access_cycles=t - begin,
+            levels_accessed=len(probe_addresses),
+            faulted=pfn is None,
+            fault_level=1 if pfn is None else 0,
+            leaf_pte_address=leaf_address,
+        )
+
+    return traverse

@@ -1,0 +1,171 @@
+"""Hardware page-walk subsystem: PWB, walker pool, ports, NHA coalescing.
+
+The baseline GPU resolves L2 TLB misses here: requests buffer in the
+Page Walk Buffer until one of the ``num_walkers`` hardware walkers is
+free, then traverse the radix table through the memory system.  The
+time a request spends buffered is the *queueing delay* the whole paper
+revolves around; it is recorded separately from traversal time.
+
+Optionally models:
+
+* **PWB ports** — how many walks can be dequeued per cycle (Figure 15's
+  area/performance trade-off sweep).
+* **NHA coalescing** (ref [86]) — pending walks whose final-level PTEs
+  fall in the same cache sector merge into a single traversal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.config import PTWConfig
+from repro.pagetable.radix import RadixPageTable
+from repro.ptw.request import WalkRequest
+from repro.ptw.walker import PteMemoryPort, WalkOutcome, execute_walk
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+from repro.tlb.pwc import PageWalkCache
+
+#: PTEs covered by one coalescing unit (32B sector / 8B PTE).
+NHA_SPAN_PTES = 4
+
+CompletionCallback = Callable[[WalkRequest, WalkOutcome], None]
+
+
+class HardwareWalkBackend:
+    """Fixed pool of hardware page table walkers fed by a PWB."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: PTWConfig,
+        page_table: RadixPageTable,
+        pte_port: PteMemoryPort,
+        pwc: PageWalkCache | None,
+        stats: StatsRegistry,
+        traversal: Callable[[int, int, int], WalkOutcome] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.page_table = page_table
+        self.pte_port = pte_port
+        self.pwc = pwc
+        self.stats = stats
+        self._traverse = traversal or self._radix_traverse
+        self.on_complete: CompletionCallback | None = None
+        self._queue: deque[WalkRequest] = deque()
+        self._free_walkers = config.num_walkers
+        # PWB ports bound how many walks can be dequeued per cycle.
+        self._port_cycle = 0
+        self._port_used = 0
+        self._last_sm = -1
+        self._nha_pending: dict[int, WalkRequest] = {}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    @property
+    def has_free_walker(self) -> bool:
+        return self._free_walkers > 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def submit(self, request: WalkRequest) -> None:
+        """Accept a walk request (enqueue time already stamped)."""
+        self.stats.counters.add("ptw.submitted")
+        if self.config.nha_coalescing and self._try_nha_merge(request):
+            return
+        if self._free_walkers > 0:
+            self._start(request)
+            return
+        if len(self._queue) >= self.config.pwb_entries:
+            # The PWB proper is full; requests overflow into MSHR-held
+            # backpressure.  The wait is still queueing delay either way.
+            self.stats.counters.add("ptw.pwb_overflow")
+        self._queue.append(request)
+        if self.config.nha_coalescing:
+            self._nha_pending.setdefault(self._nha_key(request.vpn), request)
+
+    def _nha_key(self, vpn: int) -> int:
+        return vpn // NHA_SPAN_PTES
+
+    def _try_nha_merge(self, request: WalkRequest) -> bool:
+        """Merge onto a *queued* walk whose leaf PTE shares the sector."""
+        host = self._nha_pending.get(self._nha_key(request.vpn))
+        if host is None or host.vpn == request.vpn:
+            return False
+        if len(host.merged_vpns) + 1 >= NHA_SPAN_PTES:
+            return False
+        host.merged_vpns.append(request.vpn)
+        self.stats.counters.add("ptw.nha_merged")
+        return True
+
+    # ------------------------------------------------------------------
+    # Walker pool
+    # ------------------------------------------------------------------
+    def _acquire_port(self, when: int) -> int:
+        """Dequeuing a walk occupies one PWB port for a cycle.
+
+        At most ``pwb_ports`` walks may start per cycle; extra starts
+        slip to following cycles.  Grant times are monotone because the
+        walker pool starts walks in arrival order.
+        """
+        if when > self._port_cycle:
+            self._port_cycle = when
+            self._port_used = 0
+        if self._port_used < self.config.pwb_ports:
+            self._port_used += 1
+            return self._port_cycle
+        self._port_cycle += 1
+        self._port_used = 1
+        return self._port_cycle
+
+    def _start(self, request: WalkRequest) -> None:
+        self._free_walkers -= 1
+        if self.config.nha_coalescing:
+            self._nha_pending.pop(self._nha_key(request.vpn), None)
+        begin = self._acquire_port(max(self.engine.now, request.enqueue_time))
+        request.queueing = begin - request.enqueue_time
+        outcome = self._traverse(request.vpn, request.start_level, begin)
+        request.access = outcome.finish_time - begin
+        request.faulted = outcome.faulted
+        request.fault_level = outcome.fault_level
+        self.stats.counters.add("ptw.walks")
+        self.stats.histogram("ptw.levels").record(outcome.levels_accessed)
+        self.engine.schedule_at(outcome.finish_time, self._finish, request, outcome)
+
+    def _radix_traverse(self, vpn: int, start_level: int, begin: int) -> WalkOutcome:
+        return execute_walk(
+            self.page_table, self.pte_port, self.pwc, vpn, start_level, begin
+        )
+
+    def _dequeue(self) -> WalkRequest:
+        """Pick the next queued walk according to the PWB policy.
+
+        ``fcfs`` drains in arrival order.  ``sm_batch`` (the page-walk
+        scheduling baseline, ref [85]) prefers a walk from the same SM
+        as the one just finished, shrinking the gap between the first
+        and last completed walks of one warp instruction.
+        """
+        if self.config.pwb_policy == "sm_batch" and self._last_sm >= 0:
+            # Bounded scan keeps the CAM-match cost plausible.
+            limit = min(len(self._queue), self.config.pwb_entries)
+            for index in range(limit):
+                if self._queue[index].requester_sm == self._last_sm:
+                    request = self._queue[index]
+                    del self._queue[index]
+                    self.stats.counters.add("ptw.sm_batched")
+                    return request
+        return self._queue.popleft()
+
+    def _finish(self, request: WalkRequest, outcome: WalkOutcome) -> None:
+        self._free_walkers += 1
+        self._last_sm = request.requester_sm
+        if self.on_complete is None:
+            raise RuntimeError("HardwareWalkBackend.on_complete not wired")
+        self.on_complete(request, outcome)
+        while self._queue and self._free_walkers > 0:
+            self._start(self._dequeue())

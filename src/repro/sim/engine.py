@@ -1,0 +1,110 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the heartbeat of every model in this package.  Components
+schedule callbacks at absolute or relative times measured in GPU core
+cycles; the engine pops events in (time, insertion-order) order so that
+simulations are fully deterministic and reproducible.
+
+The engine is intentionally minimal: a binary heap of events plus a clock.
+All higher-level timing behaviour (queueing, pipelining, bandwidth) is
+expressed by the components themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used incorrectly (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """A discrete-event simulator with a cycle-granularity clock.
+
+    Events scheduled for the same cycle fire in the order they were
+    scheduled, which keeps runs deterministic regardless of heap internals.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self.schedule_at(self.now + int(delay), callback, *args)
+
+    def schedule_at(self, when: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute cycle ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at cycle {when}, current cycle is {self.now}"
+            )
+        heapq.heappush(self._queue, (when, self._seq, callback, args))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: stop once the clock would pass this cycle (events at
+                exactly ``until`` still execute).
+            max_events: safety valve against runaway simulations.
+
+        Returns:
+            The final simulation time.
+        """
+        processed = 0
+        while self._queue:
+            when, _seq, callback, args = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            callback(*args)
+            processed += 1
+            self._events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return self.now
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._queue)
+        self.now = when
+        callback(*args)
+        self._events_processed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_processed
+
+    def peek_time(self) -> int | None:
+        """Time of the next event, or None when the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]

@@ -1,0 +1,198 @@
+"""Statistics primitives shared by every simulated component.
+
+Three building blocks cover everything the paper reports:
+
+* :class:`Counter` — named monotonically increasing event counts
+  (TLB hits/misses, MSHR failures, issued instructions, ...).
+* :class:`Histogram` — value distributions (walk levels, queue depths).
+* :class:`LatencyTracker` — per-request latency accumulation split into
+  named components, used for the queueing-delay vs page-table-access
+  breakdown of Figures 7 and 18.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` counts, 0.0 when the denominator is 0."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({items})"
+
+
+class Histogram:
+    """Integer-valued histogram with summary statistics."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+        self._max: int | None = None
+        self._min: int | None = None
+
+    def record(self, value: int, weight: int = 1) -> None:
+        self._buckets[value] += weight
+        self._count += weight
+        self._total += value * weight
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._min is None or value < self._min:
+            self._min = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def maximum(self) -> int:
+        return self._max if self._max is not None else 0
+
+    @property
+    def minimum(self) -> int:
+        return self._min if self._min is not None else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Value at the given cumulative fraction (0 < fraction <= 1)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self._count == 0:
+            return 0
+        target = fraction * self._count
+        running = 0
+        for value in sorted(self._buckets):
+            running += self._buckets[value]
+            if running >= target:
+                return value
+        return self.maximum
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._buckets)
+
+
+@dataclass
+class LatencySample:
+    """One completed request with a per-component latency breakdown."""
+
+    components: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.components.values())
+
+
+class LatencyTracker:
+    """Accumulates per-request latencies split into named components.
+
+    SoftWalker's analysis hinges on separating *queueing delay* (time a
+    walk waits for a walker) from *access latency* (time spent actually
+    traversing the page table).  Components are free-form strings so the
+    same tracker also covers communication and instruction-execution
+    overheads of the software walker.
+    """
+
+    def __init__(self) -> None:
+        self._component_totals: dict[str, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def record(self, **components: int) -> None:
+        """Record one completed request, e.g. ``record(queueing=120, access=300)``."""
+        for name, value in components.items():
+            if value < 0:
+                raise ValueError(f"negative latency component {name}={value}")
+            self._component_totals[name] += value
+            self._total += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean_total(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def component_total(self, name: str) -> int:
+        return self._component_totals.get(name, 0)
+
+    def component_mean(self, name: str) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._component_totals.get(name, 0) / self._count
+
+    def component_fraction(self, name: str) -> float:
+        """Fraction of the grand total attributed to one component."""
+        if self._total == 0:
+            return 0.0
+        return self._component_totals.get(name, 0) / self._total
+
+    def components(self) -> dict[str, int]:
+        return dict(self._component_totals)
+
+
+class StatsRegistry:
+    """Top-level container handed to every component of a simulation.
+
+    Keeps one shared :class:`Counter` plus named histograms and latency
+    trackers, so experiment harnesses can pull every statistic from a
+    single object after a run.
+    """
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self._histograms: dict[str, Histogram] = {}
+        self._latencies: dict[str, LatencyTracker] = {}
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    def latency(self, name: str) -> LatencyTracker:
+        if name not in self._latencies:
+            self._latencies[name] = LatencyTracker()
+        return self._latencies[name]
+
+    def histogram_names(self) -> list[str]:
+        return sorted(self._histograms)
+
+    def latency_names(self) -> list[str]:
+        return sorted(self._latencies)

@@ -1,0 +1,20 @@
+"""TLB substrate: TLB arrays, MSHRs, In-TLB MSHR tracking, page walk cache."""
+
+from repro.tlb.coalesced import CoalescedTLB
+from repro.tlb.speculation import ContiguityPredictor
+from repro.tlb.mshr import MSHRFile, MSHRResult
+from repro.tlb.pwc import PageWalkCache
+from repro.tlb.tlb import TLB, TLBEntry
+from repro.tlb.tracker import L2MissTracker, TrackOutcome
+
+__all__ = [
+    "CoalescedTLB",
+    "ContiguityPredictor",
+    "MSHRFile",
+    "MSHRResult",
+    "PageWalkCache",
+    "TLB",
+    "TLBEntry",
+    "L2MissTracker",
+    "TrackOutcome",
+]

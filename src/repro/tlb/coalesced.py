@@ -1,0 +1,154 @@
+"""CoLT-style coalesced TLB (refs [74, 6, 49], Section 2.3).
+
+A coalesced entry covers a ``span``-page aligned block: when the pages
+of a block map to *contiguous* physical frames, one entry (base PFN +
+per-page valid bits) translates all of them, multiplying TLB reach.
+Contiguity detection models CoLT's trick of inspecting the other PTEs
+that arrive in the same cache sector as the demand-filled one.
+
+The paper's §2.3 argument — irregular workloads thrash coalesced
+entries and (with a scattering frame allocator) rarely exhibit
+contiguity at all — falls straight out of this model: enable it via
+``GPUConfig.tlb_coalescing_span`` and compare streaming vs power-law
+workloads (see ``tests/test_coalesced_tlb.py``).
+
+Valid block entries and pending In-TLB MSHR slots (keyed by raw VPN)
+live in the same arrays; block keys are offset into a disjoint integer
+range so the two can never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.config import TLBConfig
+from repro.sim.stats import StatsRegistry
+from repro.tlb.tlb import TLB, TLBEntry
+
+#: Keys >= this are block entries; raw VPNs (< 2^33) stay below it.
+_BLOCK_KEY_BASE = 1 << 40
+
+#: vpn -> pfn probe; raises/returns None for unmapped neighbours.
+TranslateFn = Callable[[int], int | None]
+
+
+class CoalescedTLB(TLB):
+    """A TLB whose valid entries cover aligned multi-page blocks."""
+
+    def __init__(
+        self,
+        config: TLBConfig,
+        stats: StatsRegistry,
+        *,
+        name: str,
+        span: int,
+        translate: TranslateFn,
+    ) -> None:
+        if span < 2 or span & (span - 1):
+            raise ValueError("coalescing span must be a power of two >= 2")
+        super().__init__(config, stats, name=name)
+        self.span = span
+        self._translate = translate
+
+    # ------------------------------------------------------------------
+    # Key handling
+    # ------------------------------------------------------------------
+    def _block_key(self, vpn: int) -> int:
+        return _BLOCK_KEY_BASE + vpn // self.span
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+    def lookup(self, vpn: int) -> int | None:
+        self._tick += 1
+        self.stats.counters.add(f"{self.name}.lookups")
+        key = self._block_key(vpn)
+        set_index = self.set_index(key)
+        entry = self._sets[set_index].get(key)
+        offset = vpn % self.span
+        if entry is not None and not entry.pending and (entry.waiters[0] >> offset) & 1:
+            self._policies[set_index].touch(self._way_of[set_index][key], self._tick)
+            self.stats.counters.add(f"{self.name}.hits")
+            return entry.pfn + offset
+        self.stats.counters.add(f"{self.name}.misses")
+        return None
+
+    def fill(self, vpn: int, pfn: int) -> list[Any]:
+        """Install a coalesced block entry; resolves any pending slot.
+
+        The demand PTE's sector carries its block neighbours, so their
+        contiguity is checked for free; contiguous neighbours join the
+        entry's valid mask (bit per page).
+        """
+        self._tick += 1
+        waiters: list[Any] = []
+        pending = self.probe_pending(vpn)
+        if pending is not None:
+            set_index = self.set_index(vpn)
+            waiters = pending.waiters
+            pending.waiters = []
+            pending.pending = False
+            self._pending_count -= 1
+            self.stats.counters.add(f"{self.name}.pending_resolved")
+            self._evict(set_index, vpn)
+
+        offset = vpn % self.span
+        base_vpn = vpn - offset
+        base_pfn = pfn - offset
+        mask = 1 << offset
+        for other in range(self.span):
+            if other == offset:
+                continue
+            neighbour_pfn = self._probe_neighbour(base_vpn + other)
+            if neighbour_pfn is not None and neighbour_pfn == base_pfn + other:
+                mask |= 1 << other
+        if mask != 1 << offset:
+            self.stats.counters.add(f"{self.name}.coalesced_fills")
+
+        key = self._block_key(vpn)
+        set_index = self.set_index(key)
+        entry = self._sets[set_index].get(key)
+        if entry is not None and not entry.pending:
+            entry.pfn = base_pfn
+            entry.waiters = [mask | entry.waiters[0]]
+            self._policies[set_index].touch(self._way_of[set_index][key], self._tick)
+            return waiters
+        way = self._take_way(set_index)
+        if way is None:
+            self.stats.counters.add(f"{self.name}.fill_dropped")
+            return waiters
+        # Reuse TLBEntry: ``vpn`` holds the block key, ``waiters[0]`` the
+        # valid-page bitmask (a block entry is never pending).
+        block_entry = TLBEntry(vpn=key, pfn=base_pfn, waiters=[mask])
+        self._install(set_index, way, block_entry)
+        return waiters
+
+    def _probe_neighbour(self, vpn: int) -> int | None:
+        try:
+            return self._translate(vpn)
+        except Exception:
+            return None
+
+    def invalidate(self, vpn: int) -> bool:
+        """Shootdown: clear the page's bit; drop the entry when empty."""
+        key = self._block_key(vpn)
+        set_index = self.set_index(key)
+        entry = self._sets[set_index].get(key)
+        if entry is None or entry.pending:
+            return False
+        offset = vpn % self.span
+        if not (entry.waiters[0] >> offset) & 1:
+            return False
+        entry.waiters = [entry.waiters[0] & ~(1 << offset)]
+        if entry.waiters[0] == 0:
+            self._evict(set_index, key)
+        return True
+
+    def coverage(self) -> int:
+        """Total pages currently translatable (reach, in pages)."""
+        return sum(
+            bin(entry.waiters[0]).count("1")
+            for tlb_set in self._sets
+            for entry in tlb_set.values()
+            if not entry.pending
+        )

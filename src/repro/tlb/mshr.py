@@ -1,0 +1,81 @@
+"""Dedicated TLB MSHR file with miss merging.
+
+Each entry tracks one in-flight VPN and up to ``merges`` requests that
+collapsed onto it (Table 3: 32 entries x 192 merges at L1, 128 x 46 at
+L2).  Allocation distinguishes three outcomes the rest of the system
+reacts to differently:
+
+* ``NEW`` — a fresh entry was allocated; the caller must start a walk.
+* ``MERGED`` — an existing entry absorbed the request; no new walk.
+* ``FULL`` — no entry (or merge slot) available: an *MSHR failure*,
+  the event In-TLB MSHR exists to absorb.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.sim.stats import StatsRegistry
+
+
+class MSHRResult(enum.Enum):
+    NEW = "new"
+    MERGED = "merged"
+    FULL = "full"
+
+
+class MSHRFile:
+    """Fully associative miss-status holding registers for one TLB level."""
+
+    def __init__(
+        self,
+        entries: int,
+        merges: int,
+        stats: StatsRegistry,
+        *,
+        name: str,
+    ) -> None:
+        if entries < 0 or merges < 1:
+            raise ValueError("MSHR file needs entries >= 0 and merges >= 1")
+        self.capacity = entries
+        self.merges = merges
+        self.stats = stats
+        self.name = name
+        self._entries: dict[int, list[Any]] = {}
+
+    def allocate(self, vpn: int, waiter: Any) -> MSHRResult:
+        """Try to track a miss on ``vpn`` for ``waiter``."""
+        waiters = self._entries.get(vpn)
+        if waiters is not None:
+            if len(waiters) >= self.merges:
+                self.stats.counters.add(f"{self.name}.merge_full")
+                return MSHRResult.FULL
+            waiters.append(waiter)
+            self.stats.counters.add(f"{self.name}.merged")
+            return MSHRResult.MERGED
+        if len(self._entries) >= self.capacity:
+            self.stats.counters.add(f"{self.name}.full")
+            return MSHRResult.FULL
+        self._entries[vpn] = [waiter]
+        self.stats.counters.add(f"{self.name}.allocated")
+        return MSHRResult.NEW
+
+    def resolve(self, vpn: int) -> list[Any]:
+        """Free the entry for ``vpn``; returns its waiters (may be empty)."""
+        waiters = self._entries.pop(vpn, None)
+        if waiters is None:
+            return []
+        self.stats.counters.add(f"{self.name}.resolved")
+        return waiters
+
+    def is_tracking(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity

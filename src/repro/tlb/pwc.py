@@ -1,0 +1,103 @@
+"""Page Walk Cache: lets walks skip upper page-table levels.
+
+A PWC entry caches the physical base address of one page-table node,
+keyed by ``(level, table_tag)``.  Probing for a VPN returns the deepest
+cached node along its walk path so the walk starts there; the root is
+always known (it lives in the per-process page-table base register), so
+a cold probe simply starts at the root level.
+"""
+
+from __future__ import annotations
+
+from repro.memory.replacement import LRUPolicy
+from repro.pagetable.address import AddressLayout
+from repro.sim.stats import StatsRegistry
+
+
+class PageWalkCache:
+    """Fully associative cache of page-table node base addresses.
+
+    ``min_level`` bounds how deep the PWC caches: the default of 2
+    means pointers *to leaf tables are not cached* — like an x86 PDE
+    cache, the walk always reads at least the final PTE from memory
+    (after one upper-level read).  Setting ``min_level=1`` models an
+    aggressive translation cache that can collapse walks to one access.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        layout: AddressLayout,
+        root_base: int,
+        stats: StatsRegistry,
+        *,
+        name: str = "pwc",
+        min_level: int = 2,
+    ) -> None:
+        if entries < 0:
+            raise ValueError("PWC size cannot be negative")
+        if min_level < 1:
+            raise ValueError("min_level must be >= 1")
+        self.capacity = entries
+        self.layout = layout
+        self.root_base = root_base
+        self.stats = stats
+        self.name = name
+        self.min_level = min_level
+        self._entries: dict[tuple[int, int], int] = {}
+        self._policy = LRUPolicy()
+        self._way_of: dict[tuple[int, int], int] = {}
+        self._free = list(range(entries))
+        self._tick = 0
+
+    def probe(self, vpn: int) -> tuple[int, int]:
+        """Deepest cached node for ``vpn``: returns ``(level, node_base)``.
+
+        Levels below the root are only returned on a PWC hit; the
+        fallback is ``(root_level, root_base)``.
+        """
+        self._tick += 1
+        self.stats.counters.add(f"{self.name}.probes")
+        for level in range(self.min_level, self.layout.levels):
+            key = (level, self.layout.table_tag(vpn, level))
+            base = self._entries.get(key)
+            if base is not None:
+                self._policy.touch(self._way_of[key], self._tick)
+                self.stats.counters.add(f"{self.name}.hits")
+                return level, base
+        self.stats.counters.add(f"{self.name}.root_fallbacks")
+        return self.layout.levels, self.root_base
+
+    def fill(self, vpn: int, level: int, node_base: int) -> None:
+        """Cache the node at ``level`` on ``vpn``'s path (FPWC instruction)."""
+        if self.capacity == 0 or level >= self.layout.levels or level < self.min_level:
+            return
+        self._tick += 1
+        key = (level, self.layout.table_tag(vpn, level))
+        if key in self._entries:
+            self._entries[key] = node_base
+            self._policy.touch(self._way_of[key], self._tick)
+            return
+        if self._free:
+            way = self._free.pop()
+        else:
+            way = self._policy.victim(list(self._way_of.values()))
+            victim_key = next(k for k, w in self._way_of.items() if w == way)
+            del self._entries[victim_key]
+            del self._way_of[victim_key]
+            self._policy.forget(way)
+            self.stats.counters.add(f"{self.name}.evictions")
+        self._entries[key] = node_base
+        self._way_of[key] = way
+        self._policy.touch(way, self._tick)
+        self.stats.counters.add(f"{self.name}.fills")
+
+    def hit_rate(self) -> float:
+        probes = self.stats.counters.get(f"{self.name}.probes")
+        if probes == 0:
+            return 0.0
+        return self.stats.counters.get(f"{self.name}.hits") / probes
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)

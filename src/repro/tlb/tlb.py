@@ -1,0 +1,206 @@
+"""Set-associative TLB with In-TLB MSHR support.
+
+Each entry carries the paper's pending bit (Section 4.5): alongside
+``invalid`` and ``valid`` states, an entry can be repurposed as a
+temporary MSHR slot holding metadata for an outstanding miss.  Victim
+selection for both fills and pending allocations follows the TLB's
+replacement policy, restricted to non-pending ways — a pending entry
+must never be silently dropped, because waiters are parked on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import TLBConfig
+from repro.memory.replacement import LRUPolicy
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class TLBEntry:
+    """One TLB way: a translation or (when pending) an in-TLB MSHR slot."""
+
+    vpn: int
+    pfn: int = 0
+    pending: bool = False
+    waiters: list[Any] = field(default_factory=list)
+
+
+class TLB:
+    """A TLB level (L1 per-SM or shared L2), optionally with pending ways."""
+
+    def __init__(self, config: TLBConfig, stats: StatsRegistry, *, name: str) -> None:
+        self.config = config
+        self.stats = stats
+        self.name = name
+        self._num_sets = config.num_sets
+        self._ways = (
+            config.entries if config.associativity == 0 else config.associativity
+        )
+        self._sets: list[dict[int, TLBEntry]] = [{} for _ in range(self._num_sets)]
+        self._way_of: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
+        self._free_ways: list[list[int]] = [
+            list(range(self._ways)) for _ in range(self._num_sets)
+        ]
+        self._policies = [LRUPolicy() for _ in range(self._num_sets)]
+        self._tick = 0
+        self._pending_count = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def set_index(self, vpn: int) -> int:
+        return vpn % self._num_sets
+
+    # ------------------------------------------------------------------
+    # Lookup / fill
+    # ------------------------------------------------------------------
+    def lookup(self, vpn: int) -> int | None:
+        """Return the PFN on hit, None on miss.  Pending entries miss."""
+        self._tick += 1
+        set_index = self.set_index(vpn)
+        entry = self._sets[set_index].get(vpn)
+        self.stats.counters.add(f"{self.name}.lookups")
+        if entry is None or entry.pending:
+            self.stats.counters.add(f"{self.name}.misses")
+            return None
+        self._policies[set_index].touch(self._way_of[set_index][vpn], self._tick)
+        self.stats.counters.add(f"{self.name}.hits")
+        return entry.pfn
+
+    def probe_pending(self, vpn: int) -> TLBEntry | None:
+        """Return the pending entry for ``vpn`` without recording stats."""
+        entry = self._sets[self.set_index(vpn)].get(vpn)
+        if entry is not None and entry.pending:
+            return entry
+        return None
+
+    def fill(self, vpn: int, pfn: int) -> list[Any]:
+        """Install a translation; returns waiters of a resolved pending way.
+
+        Mirrors the paper's Figure 13 flow: the L2 TLB controller clears
+        the pending state of the tag-matching way, fills the PTE, and
+        resolves all misses parked on it.  When the set is entirely
+        occupied by *other* pending entries the fill is dropped (the
+        translation still returns to the requester; it is just not
+        cached), because pending slots must not be evicted.
+        """
+        self._tick += 1
+        set_index = self.set_index(vpn)
+        entry = self._sets[set_index].get(vpn)
+        if entry is not None:
+            waiters: list[Any] = []
+            if entry.pending:
+                waiters = entry.waiters
+                entry.waiters = []
+                entry.pending = False
+                self._pending_count -= 1
+                self.stats.counters.add(f"{self.name}.pending_resolved")
+            entry.pfn = pfn
+            self._policies[set_index].touch(self._way_of[set_index][vpn], self._tick)
+            return waiters
+
+        way = self._take_way(set_index)
+        if way is None:
+            self.stats.counters.add(f"{self.name}.fill_dropped")
+            return []
+        self._install(set_index, way, TLBEntry(vpn=vpn, pfn=pfn))
+        return []
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop a valid translation (TLB shootdown).  Pending ways stay."""
+        set_index = self.set_index(vpn)
+        entry = self._sets[set_index].get(vpn)
+        if entry is None or entry.pending:
+            return False
+        self._evict(set_index, vpn)
+        return True
+
+    # ------------------------------------------------------------------
+    # In-TLB MSHR (pending entries)
+    # ------------------------------------------------------------------
+    def allocate_pending(self, vpn: int, waiter: Any) -> bool:
+        """Repurpose a victim way as an MSHR slot for ``vpn``.
+
+        Returns False when every way of the set is already a pending
+        slot (the per-set bottleneck that limits spmv in Section 6.3).
+        """
+        self._tick += 1
+        set_index = self.set_index(vpn)
+        entry = self._sets[set_index].get(vpn)
+        if entry is not None and entry.pending:
+            raise ValueError(f"vpn {vpn:#x} already pending; merge instead")
+        if entry is not None:
+            # A valid entry exists; caller should have hit.  Replace it.
+            self._evict(set_index, vpn)
+        way = self._take_way(set_index)
+        if way is None:
+            return False
+        pending = TLBEntry(vpn=vpn, pending=True, waiters=[waiter])
+        self._install(set_index, way, pending)
+        self._pending_count += 1
+        self.stats.counters.add(f"{self.name}.pending_allocated")
+        return True
+
+    def merge_pending(self, vpn: int, waiter: Any) -> bool:
+        """Park another waiter on an existing pending entry."""
+        entry = self.probe_pending(vpn)
+        if entry is None:
+            return False
+        entry.waiters.append(waiter)
+        self.stats.counters.add(f"{self.name}.pending_merged")
+        return True
+
+    @property
+    def pending_entries(self) -> int:
+        return self._pending_count
+
+    # ------------------------------------------------------------------
+    # Way management
+    # ------------------------------------------------------------------
+    def _take_way(self, set_index: int) -> int | None:
+        free = self._free_ways[set_index]
+        if free:
+            return free.pop()
+        candidates = [
+            self._way_of[set_index][vpn]
+            for vpn, entry in self._sets[set_index].items()
+            if not entry.pending
+        ]
+        if not candidates:
+            return None
+        way = self._policies[set_index].victim(candidates)
+        victim_vpn = next(
+            vpn for vpn, w in self._way_of[set_index].items() if w == way
+        )
+        self._evict(set_index, victim_vpn)
+        return self._free_ways[set_index].pop()
+
+    def _install(self, set_index: int, way: int, entry: TLBEntry) -> None:
+        self._sets[set_index][entry.vpn] = entry
+        self._way_of[set_index][entry.vpn] = way
+        self._policies[set_index].touch(way, self._tick)
+
+    def _evict(self, set_index: int, vpn: int) -> None:
+        way = self._way_of[set_index].pop(vpn)
+        del self._sets[set_index][vpn]
+        self._policies[set_index].forget(way)
+        self._free_ways[set_index].append(way)
+        self.stats.counters.add(f"{self.name}.evictions")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> float:
+        lookups = self.stats.counters.get(f"{self.name}.lookups")
+        if lookups == 0:
+            return 0.0
+        return self.stats.counters.get(f"{self.name}.hits") / lookups
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def valid_entries(self) -> int:
+        return self.occupancy() - self._pending_count

@@ -1,0 +1,94 @@
+"""L2 TLB miss tracking: dedicated MSHRs first, In-TLB MSHRs on overflow.
+
+This is the Section 4.5 mechanism.  A miss that cannot be tracked is an
+*MSHR failure* — the L2 TLB refuses the request and the L1 side must
+retry, which is the contention In-TLB MSHR exists to absorb (Figure 17
+counts exactly these failures).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.sim.stats import StatsRegistry
+from repro.tlb.mshr import MSHRFile, MSHRResult
+from repro.tlb.tlb import TLB
+
+
+class TrackOutcome(enum.Enum):
+    #: A new tracking entry was created: the caller must launch a walk.
+    NEW = "new"
+    #: Merged onto an in-flight miss: no new walk.
+    MERGED = "merged"
+    #: MSHR failure: nothing could hold the miss; caller must retry.
+    FAILED = "failed"
+
+
+class L2MissTracker:
+    """Routes miss-tracking between the MSHR file and In-TLB MSHR slots."""
+
+    def __init__(
+        self,
+        tlb: TLB,
+        mshr: MSHRFile,
+        stats: StatsRegistry,
+        *,
+        in_tlb_limit: int = 0,
+    ) -> None:
+        if in_tlb_limit < 0:
+            raise ValueError("In-TLB MSHR limit cannot be negative")
+        self.tlb = tlb
+        self.mshr = mshr
+        self.stats = stats
+        self.in_tlb_limit = in_tlb_limit
+
+    def track(self, vpn: int, waiter: Any) -> TrackOutcome:
+        """Try to track a miss on ``vpn``; see :class:`TrackOutcome`."""
+        # Merge paths first: an in-flight miss on the same VPN lives in
+        # exactly one of the two structures.
+        if self.mshr.is_tracking(vpn):
+            result = self.mshr.allocate(vpn, waiter)
+            if result is MSHRResult.MERGED:
+                return TrackOutcome.MERGED
+            return self._fail()
+        pending = self.tlb.probe_pending(vpn)
+        if pending is not None:
+            if len(pending.waiters) >= self.mshr.merges:
+                self.stats.counters.add(f"{self.tlb.name}.pending_merge_full")
+                return self._fail()
+            self.tlb.merge_pending(vpn, waiter)
+            return TrackOutcome.MERGED
+
+        # Fresh miss: dedicated MSHRs first (the design stays compatible
+        # with regular workloads by never touching TLB entries until the
+        # MSHR file is saturated).
+        result = self.mshr.allocate(vpn, waiter)
+        if result is MSHRResult.NEW:
+            return TrackOutcome.NEW
+        if self.in_tlb_limit and self.tlb.pending_entries < self.in_tlb_limit:
+            if self.tlb.allocate_pending(vpn, waiter):
+                return TrackOutcome.NEW
+            # Every way of the set is already a pending slot — the
+            # per-set bottleneck that caps spmv in Section 6.3.
+            self.stats.counters.add(f"{self.tlb.name}.pending_set_full")
+        return self._fail()
+
+    def _fail(self) -> TrackOutcome:
+        self.stats.counters.add("l2tlb.mshr_failures")
+        return TrackOutcome.FAILED
+
+    def resolve(self, vpn: int) -> list[Any]:
+        """Waiters parked in the *MSHR file* for ``vpn``.
+
+        In-TLB waiters are returned by ``tlb.fill`` when the walk result
+        is installed; callers combine both lists.
+        """
+        return self.mshr.resolve(vpn)
+
+    @property
+    def outstanding(self) -> int:
+        return self.mshr.occupancy + self.tlb.pending_entries
+
+    def failures(self) -> int:
+        return self.stats.counters.get("l2tlb.mshr_failures")

@@ -1,0 +1,34 @@
+"""Workloads: synthetic benchmark suite (Table 4) and microbenchmarks."""
+
+from repro.workloads.base import IRREGULAR, REGULAR, TraceWorkload, WorkloadSpec
+from repro.workloads.catalog import (
+    ALL_ABBRS,
+    CATALOG,
+    IRREGULAR_ABBRS,
+    REGULAR_ABBRS,
+    SCALABLE_ABBRS,
+    get_spec,
+)
+from repro.workloads.microbench import MicrobenchWorkload, microbench_spec
+from repro.workloads.patterns import PATTERNS, get_pattern
+from repro.workloads.trace_io import ReplayWorkload, load_trace, save_trace
+
+__all__ = [
+    "ReplayWorkload",
+    "load_trace",
+    "save_trace",
+    "IRREGULAR",
+    "REGULAR",
+    "TraceWorkload",
+    "WorkloadSpec",
+    "ALL_ABBRS",
+    "CATALOG",
+    "IRREGULAR_ABBRS",
+    "REGULAR_ABBRS",
+    "SCALABLE_ABBRS",
+    "get_spec",
+    "MicrobenchWorkload",
+    "microbench_spec",
+    "PATTERNS",
+    "get_pattern",
+]

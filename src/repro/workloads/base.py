@@ -1,0 +1,175 @@
+"""Workload specification and trace construction.
+
+A :class:`WorkloadSpec` captures everything Table 4 records about a
+benchmark — footprint, access pattern, divergence, compute intensity —
+plus the paper's measured MPKI and required-PTW class for comparison.
+:class:`TraceWorkload` turns a spec into concrete per-warp instruction
+traces and a pre-populated address space, deterministic per benchmark
+name so every configuration replays the identical workload.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import MB, GPUConfig
+from repro.gpu.warp import LINE_BYTES
+from repro.pagetable.space import AddressSpace
+from repro.workloads.patterns import get_pattern
+
+IRREGULAR = "irregular"
+REGULAR = "regular"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one benchmark (one Table 4 row)."""
+
+    name: str
+    abbr: str
+    category: str
+    #: Memory footprint in MB (Table 4).
+    footprint_mb: int
+    #: Access pattern generator name (see ``repro.workloads.patterns``).
+    pattern: str
+    #: Pattern keyword arguments.
+    pattern_params: dict[str, Any] = field(default_factory=dict)
+    #: Compute cycles issued between memory instructions.
+    compute_per_mem: int = 40
+    #: Concurrent warps per SM the kernel sustains.
+    warps_per_sm: int = 8
+    #: Memory instructions per warp at scale 1.0.
+    mem_insts_per_warp: int = 8
+    #: Paper-reported L2 TLB MPKI (Table 4), for shape comparison.
+    paper_mpki: float = 0.0
+    #: Paper-reported required number of PTWs (Table 4).
+    paper_required_ptws: int = 32
+
+    def __post_init__(self) -> None:
+        if self.category not in (IRREGULAR, REGULAR):
+            raise ValueError(f"category must be irregular/regular, got {self.category!r}")
+        if self.footprint_mb <= 0:
+            raise ValueError("footprint must be positive")
+
+    @property
+    def is_irregular(self) -> bool:
+        return self.category == IRREGULAR
+
+    def footprint_lines(self, footprint_scale: float = 1.0) -> int:
+        return max(1, int(self.footprint_mb * footprint_scale) * MB // LINE_BYTES)
+
+
+class TraceWorkload:
+    """Concrete traces + address space for one (spec, config) pair."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        config: GPUConfig,
+        *,
+        scale: float = 1.0,
+        footprint_scale: float = 1.0,
+        seed: int | None = None,
+        contiguous_frames: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.page_size = config.page_table.page_size
+        self._lines_per_page = self.page_size // LINE_BYTES
+        base_seed = seed if seed is not None else zlib.crc32(spec.name.encode())
+        self._rng = np.random.default_rng(base_seed)
+        self.footprint_lines = spec.footprint_lines(footprint_scale)
+
+        self.mem_insts_per_warp = max(1, round(spec.mem_insts_per_warp * scale))
+        self.warps_per_sm = min(spec.warps_per_sm, config.max_warps_per_sm)
+        self.traces = self._generate()
+        # The hashed mirror (FS-HPT) is fixed-size, dimensioned to the
+        # workload like the original design: ~4 slots per mapped page.
+        touched = self._touched_pages()
+        hashed_slots = max(1 << 10, 1 << (4 * max(1, touched)).bit_length())
+        self.space = AddressSpace(
+            config.page_table,
+            with_hashed_table=True,
+            hashed_slots=hashed_slots,
+            # Contiguous allocation models an OS that preserves
+            # virtual-to-physical contiguity (what TLB coalescing needs).
+            shuffle_seed=None if contiguous_frames else 1234,
+        )
+        self._premap()
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def _generate(self) -> list[list[list[tuple]]]:
+        pattern = get_pattern(self.spec.pattern)
+        num_warps_total = self.config.num_sms * self.warps_per_sm
+        traces: list[list[list[tuple]]] = []
+        slot = 0
+        for _sm in range(self.config.num_sms):
+            sm_traces: list[list[tuple]] = []
+            for _warp in range(self.warps_per_sm):
+                lanes = pattern(
+                    self._rng,
+                    slot,
+                    num_warps_total,
+                    self.mem_insts_per_warp,
+                    self.footprint_lines,
+                    **self.spec.pattern_params,
+                )
+                sm_traces.append(self._to_instructions(lanes))
+                slot += 1
+            traces.append(sm_traces)
+        return traces
+
+    def _to_instructions(self, lane_lines: np.ndarray) -> list[tuple]:
+        instructions: list[tuple] = []
+        compute = self.spec.compute_per_mem
+        for row in lane_lines:
+            if compute:
+                instructions.append(("c", compute))
+            vlines = tuple(sorted(set(int(v) for v in row)))
+            instructions.append(("m", vlines))
+        return instructions
+
+    def _touched_pages(self) -> int:
+        return len(self._page_set())
+
+    def _page_set(self) -> set[int]:
+        pages: set[int] = set()
+        lpp = self._lines_per_page
+        for sm_traces in self.traces:
+            for warp_trace in sm_traces:
+                for inst in warp_trace:
+                    if inst[0] == "m":
+                        pages.update(v // lpp for v in inst[1])
+        return pages
+
+    def _premap(self) -> None:
+        """Driver-style prefill: map every page the trace touches."""
+        pages = self._page_set()
+        for vpn in sorted(pages):
+            self.space.ensure_mapped(vpn)
+        self.touched_pages = len(pages)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_mem_instructions(self) -> int:
+        return self.config.num_sms * self.warps_per_sm * self.mem_insts_per_warp
+
+    @property
+    def footprint_pages(self) -> int:
+        return -(-self.footprint_lines * LINE_BYTES // self.page_size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.abbr}: {self.spec.category}, "
+            f"{self.spec.footprint_mb} MB footprint, "
+            f"{self.touched_pages} pages touched, "
+            f"{self.total_mem_instructions} memory instructions"
+        )

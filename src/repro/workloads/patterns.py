@@ -1,0 +1,258 @@
+"""Synthetic memory-access pattern generators.
+
+Each generator produces, for one warp, an ``(instructions, lanes)``
+array of *virtual line indices* (VA / 128B).  Patterns are defined in
+line space so they are independent of page size: the same trace is
+replayed under 64KB and 2MB pages (the Section 6.3 large-page study).
+
+The generators mirror the access behaviours of the paper's benchmark
+suites (Figure 3): streaming/blocked kernels, large-stride column-major
+algebra, stencils, power-law graph traversals, sparse gathers, and
+uniform-random GUPS-style updates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: 64KB page / 128B line.
+LINES_PER_PAGE_64K = 512
+
+PatternFn = Callable[..., np.ndarray]
+
+
+def _warp_chunk(warp_slot: int, num_warps: int, footprint_lines: int) -> tuple[int, int]:
+    """Contiguous slice of the footprint owned by one warp."""
+    chunk = max(1, footprint_lines // num_warps)
+    base = (warp_slot * chunk) % footprint_lines
+    return base, chunk
+
+
+def streaming(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    lines_per_inst: int = 4,
+    warps_per_chunk: int = 4,
+) -> np.ndarray:
+    """Coalesced sequential accesses: the 2dc/fft/red/scan/gemm shape.
+
+    Every instruction touches a handful of consecutive lines; groups of
+    ``warps_per_chunk`` warps tile the same contiguous chunk (as thread
+    blocks covering one image row do), so pages change rarely and the
+    TLBs almost always hit.
+    """
+    group = warp_slot // warps_per_chunk
+    num_groups = max(1, num_warps // warps_per_chunk)
+    base, chunk = _warp_chunk(group, num_groups, footprint_lines)
+    lane_offset = (warp_slot % warps_per_chunk) * lines_per_inst
+    starts = base + lane_offset + (
+        np.arange(n_inst) * lines_per_inst * warps_per_chunk
+    ) % max(1, chunk)
+    lanes = starts[:, None] + np.arange(lines_per_inst)[None, :]
+    return lanes % footprint_lines
+
+
+def strided(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    stride_lines: int = LINES_PER_PAGE_64K,
+    lanes: int = 32,
+) -> np.ndarray:
+    """Large-stride column-major accesses: the sy2k/gesv shape.
+
+    Each lane lands a full stride apart, so one warp instruction can
+    touch up to 32 distinct pages, sweeping the footprint cyclically —
+    the pattern that thrashes TLB reach no matter how large the page.
+    """
+    base, _ = _warp_chunk(warp_slot, num_warps, footprint_lines)
+    index = np.arange(n_inst)[:, None] * lanes + np.arange(lanes)[None, :]
+    return (base + index * stride_lines) % footprint_lines
+
+
+def uniform_random(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    lanes: int = 32,
+) -> np.ndarray:
+    """GUPS-style random updates: every lane anywhere in the footprint."""
+    return rng.integers(0, footprint_lines, size=(n_inst, lanes), dtype=np.int64)
+
+
+def power_law(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    alpha: float = 1.4,
+    sequential_fraction: float = 0.25,
+    lanes: int = 32,
+) -> np.ndarray:
+    """Graph-traversal accesses (bc/dc/sssp/gc/bfs): power-law vertices.
+
+    A fraction of lanes stream the frontier (sequential); the rest
+    chase neighbour lists whose popularity is Zipf-distributed.  A
+    fixed multiplicative hash spreads hot vertex IDs across the
+    footprint so hotness does not imply physical adjacency.
+    """
+    ranks = rng.zipf(alpha, size=(n_inst, lanes)).astype(np.int64)
+    spread = (ranks * 0x9E3779B1) % footprint_lines
+    n_seq = max(0, min(lanes, int(lanes * sequential_fraction)))
+    if n_seq:
+        base, chunk = _warp_chunk(warp_slot, num_warps, footprint_lines)
+        seq = base + (np.arange(n_inst)[:, None] + np.arange(n_seq)[None, :]) % max(
+            1, chunk
+        )
+        spread[:, :n_seq] = seq % footprint_lines
+    return spread
+
+
+def sparse_gather(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    row_fraction: float = 0.25,
+    lanes: int = 32,
+) -> np.ndarray:
+    """SpMV-style: streamed row pointers plus scattered column gathers.
+
+    The gather lanes are uniform over the matrix, producing the extreme
+    per-instruction page divergence that gives spmv the highest MPKI in
+    Table 4.
+    """
+    gathers = rng.integers(0, footprint_lines, size=(n_inst, lanes), dtype=np.int64)
+    n_rows = max(0, min(lanes, int(lanes * row_fraction)))
+    if n_rows:
+        base, chunk = _warp_chunk(warp_slot, num_warps, footprint_lines)
+        rows = base + (np.arange(n_inst)[:, None] * n_rows + np.arange(n_rows)[None, :]) % max(1, chunk)
+        gathers[:, :n_rows] = rows % footprint_lines
+    return gathers
+
+
+def stencil(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    row_stride_lines: int = 4 * LINES_PER_PAGE_64K,
+    halo: int = 1,
+    step: int = 8,
+    lanes: int = 32,
+) -> np.ndarray:
+    """2D stencil sweeps (st2d): a few rows per instruction, rows far apart."""
+    base, chunk = _warp_chunk(warp_slot, num_warps, footprint_lines)
+    center = base + (np.arange(n_inst) * step) % max(1, chunk)
+    rows = np.arange(-halo, halo + 1) * row_stride_lines
+    per_row = max(1, lanes // len(rows))
+    offsets = np.concatenate(
+        [row + np.arange(per_row) for row in rows]
+    )[:lanes]
+    return (center[:, None] + offsets[None, :]) % footprint_lines
+
+
+def diagonal_wavefront(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    matrix_rows: int = 2048,
+    lanes: int = 32,
+) -> np.ndarray:
+    """Needleman-Wunsch anti-diagonal sweeps (nw).
+
+    Lanes walk an anti-diagonal of a 2D score matrix: consecutive lanes
+    are one row apart, i.e. a full matrix-row stride apart in memory —
+    scattered across many pages, with the diagonal advancing each step.
+    """
+    row_lines = max(1, footprint_lines // matrix_rows)
+    diag = warp_slot * lanes + np.arange(n_inst)[:, None]
+    lane = np.arange(lanes)[None, :]
+    return ((diag + lane) * row_lines + (diag - lane)) % footprint_lines
+
+
+def table_lookup(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    tables: int = 64,
+    lanes: int = 32,
+) -> np.ndarray:
+    """XSBench-style cross-section lookups: random table, random offset.
+
+    Divergent binary-search-like probes over many nuclide grids; less
+    skewed than a Zipf graph but far beyond TLB reach.
+    """
+    table_size = max(1, footprint_lines // tables)
+    table = rng.integers(0, tables, size=(n_inst, lanes), dtype=np.int64)
+    offset = rng.integers(0, table_size, size=(n_inst, lanes), dtype=np.int64)
+    return table * table_size + offset
+
+
+def hot_cold(
+    rng: np.random.Generator,
+    warp_slot: int,
+    num_warps: int,
+    n_inst: int,
+    footprint_lines: int,
+    *,
+    hot_lines: int = 64 * LINES_PER_PAGE_64K,
+    cold_fraction: float = 0.02,
+    lanes: int = 4,
+) -> np.ndarray:
+    """Mostly-resident working set with rare cold excursions (cc/kc/histo).
+
+    The hot region fits comfortably in TLB reach; a small fraction of
+    lanes touch cold pages, giving the sub-1 MPKI of the paper's
+    'regular' graph kernels.
+    """
+    hot_span = min(hot_lines, footprint_lines)
+    base, _ = _warp_chunk(warp_slot, num_warps, hot_span)
+    hot = (base + (np.arange(n_inst)[:, None] + np.arange(lanes)[None, :])) % hot_span
+    cold_mask = rng.random(size=(n_inst, lanes)) < cold_fraction
+    cold = rng.integers(0, footprint_lines, size=(n_inst, lanes), dtype=np.int64)
+    return np.where(cold_mask, cold, hot)
+
+
+PATTERNS: dict[str, PatternFn] = {
+    "streaming": streaming,
+    "strided": strided,
+    "uniform_random": uniform_random,
+    "power_law": power_law,
+    "sparse_gather": sparse_gather,
+    "stencil": stencil,
+    "diagonal_wavefront": diagonal_wavefront,
+    "table_lookup": table_lookup,
+    "hot_cold": hot_cold,
+}
+
+
+def get_pattern(name: str) -> PatternFn:
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise ValueError(f"unknown access pattern {name!r}") from None

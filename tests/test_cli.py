@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CONFIGS, EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "gups"])
+        assert args.config == "baseline"
+        assert args.scale == 1.0
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_figure_names_cover_all_eval_figures(self):
+        for name in ["fig5", "fig16", "fig24", "table4", "sec5.2"]:
+            assert name in EXPERIMENTS
+
+    def test_config_names(self):
+        assert {"baseline", "softwalker", "hybrid", "ideal"} <= set(CONFIGS)
+
+
+class TestCommands:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "spmv" in out and "gemm" in out
+
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "gemm", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "MSHR failures" in out
+
+    def test_run_softwalker_config(self, capsys):
+        assert main(["run", "gups", "--config", "softwalker", "--scale", "0.1"]) == 0
+        assert "gups" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "gups", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "softwalker" in out and "speedup" in out
+
+    def test_figure_static_table(self, capsys):
+        assert main(["figure", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_figure_with_save(self, tmp_path, capsys):
+        assert main(["figure", "sec5.2", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "sec52_hw_overhead.txt").exists()

@@ -1,0 +1,125 @@
+"""Unit tests for configuration dataclasses and named configs."""
+
+import pytest
+
+from repro.config import (
+    PAGE_SIZE_2M,
+    PAGE_SIZE_64K,
+    CacheConfig,
+    DistributorPolicy,
+    GPUConfig,
+    PageTableConfig,
+    PTWConfig,
+    SoftWalkerConfig,
+    TLBConfig,
+    baseline_config,
+    fshpt_config,
+    ideal_config,
+    nha_config,
+    softwalker_config,
+)
+
+
+class TestTable3Defaults:
+    def test_baseline_matches_table3(self):
+        config = baseline_config()
+        assert config.num_sms == 46
+        assert config.max_warps_per_sm == 48
+        assert config.l1_tlb.entries == 32
+        assert config.l1_tlb.associativity == 0  # fully associative
+        assert config.l1_tlb.mshr_entries == 32
+        assert config.l1_tlb.mshr_merges == 192
+        assert config.l2_tlb.entries == 1024
+        assert config.l2_tlb.associativity == 16
+        assert config.l2_tlb.latency == 80
+        assert config.l2_tlb.mshr_entries == 128
+        assert config.l2_tlb.mshr_merges == 46
+        assert config.page_table.levels == 4
+        assert config.page_table.page_size == PAGE_SIZE_64K
+        assert config.ptw.num_walkers == 32
+        assert config.ptw.pwc_entries == 32
+        assert config.dram.channels == 16
+
+    def test_address_widths(self):
+        pt = PageTableConfig()
+        assert pt.offset_bits == 16
+        assert pt.vpn_bits == 33
+        assert pt.pfn_bits == 31
+
+
+class TestValidation:
+    def test_tlb_geometry_checked(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0, associativity=1, latency=1, mshr_entries=1, mshr_merges=1)
+        with pytest.raises(ValueError):
+            TLBConfig(entries=10, associativity=3, latency=1, mshr_entries=1, mshr_merges=1)
+
+    def test_cache_geometry_checked(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=128, sector_bytes=32,
+                        associativity=4, latency=1, mshr_entries=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=4096, line_bytes=128, sector_bytes=48,
+                        associativity=4, latency=1, mshr_entries=1)
+
+    def test_page_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            PageTableConfig(page_size=3000)
+
+    def test_ptw_kind_checked(self):
+        with pytest.raises(ValueError):
+            PTWConfig(page_table_kind="btree")
+
+    def test_softwalker_policy_checked(self):
+        with pytest.raises(ValueError):
+            SoftWalkerConfig(distributor_policy="lottery")
+
+    def test_softpwb_must_cover_threads(self):
+        with pytest.raises(ValueError):
+            SoftWalkerConfig(pw_threads_per_sm=32, softpwb_entries=16)
+
+
+class TestDerivation:
+    def test_with_ptw_preserves_other_fields(self):
+        config = baseline_config().with_ptw(num_walkers=128)
+        assert config.ptw.num_walkers == 128
+        assert config.ptw.pwc_entries == 32
+        assert config.l2_tlb.entries == 1024
+
+    def test_with_page_size_switches_levels(self):
+        large = baseline_config().with_page_size(PAGE_SIZE_2M)
+        assert large.page_table.levels == 3
+        back = large.with_page_size(PAGE_SIZE_64K)
+        assert back.page_table.levels == 4
+
+    def test_configs_are_hashable_for_caching(self):
+        assert hash(baseline_config()) == hash(baseline_config())
+        assert baseline_config() == baseline_config()
+        assert baseline_config() != softwalker_config()
+
+
+class TestNamedConfigs:
+    def test_softwalker_has_no_hardware_walkers(self):
+        config = softwalker_config()
+        assert config.softwalker.enabled
+        assert config.ptw.num_walkers == 0
+
+    def test_hybrid_keeps_hardware_walkers(self):
+        config = softwalker_config(hybrid=True)
+        assert config.softwalker.hybrid
+        assert config.ptw.num_walkers == 32
+
+    def test_nha_config(self):
+        assert nha_config().ptw.nha_coalescing
+
+    def test_fshpt_config(self):
+        assert fshpt_config().ptw.page_table_kind == "hashed"
+
+    def test_ideal_config_unbounded(self):
+        config = ideal_config()
+        assert config.ptw.num_walkers >= 1 << 20
+        assert config.l2_tlb.mshr_entries >= 1 << 20
+        assert config.ptw.pwb_ports >= 1 << 20
+
+    def test_distributor_policies(self):
+        assert set(DistributorPolicy.ALL) == {"round_robin", "random", "stall_aware"}

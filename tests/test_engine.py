@@ -1,0 +1,108 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, order.append, "c")
+    engine.schedule(10, order.append, "a")
+    engine.schedule(20, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_cycle_events_fire_in_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in range(5):
+        engine.schedule(7, order.append, tag)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(100, seen.append, "x")
+    engine.run()
+    assert engine.now == 100 and seen == ["x"]
+
+
+def test_cannot_schedule_in_the_past():
+    engine = Engine()
+    engine.schedule(5, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(engine.now - 1, lambda: None)
+
+
+def test_events_scheduled_during_execution_run():
+    engine = Engine()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 3:
+            engine.schedule(10, chain, depth + 1)
+
+    engine.schedule(0, chain, 0)
+    engine.run()
+    assert seen == [0, 1, 2, 3]
+    assert engine.now == 30
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, seen.append, 1)
+    engine.schedule(50, seen.append, 2)
+    engine.run(until=20)
+    assert seen == [1]
+    assert engine.now == 20
+    assert engine.pending_events == 1
+    engine.run()
+    assert seen == [1, 2]
+
+
+def test_run_until_includes_boundary_events():
+    engine = Engine()
+    seen = []
+    engine.schedule(20, seen.append, "edge")
+    engine.run(until=20)
+    assert seen == ["edge"]
+
+
+def test_max_events_safety_valve():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    engine.run(max_events=100)
+    assert engine.events_processed == 100
+
+
+def test_step_executes_one_event():
+    engine = Engine()
+    seen = []
+    engine.schedule(3, seen.append, "a")
+    engine.schedule(5, seen.append, "b")
+    assert engine.step() is True
+    assert seen == ["a"]
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_peek_time():
+    engine = Engine()
+    assert engine.peek_time() is None
+    engine.schedule(42, lambda: None)
+    assert engine.peek_time() == 42

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable (so syntax and imports are verified) without
+executing its ``main()``, and exposes a module docstring plus a main
+entry point — the contract the README promises.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert "quickstart" in names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_cleanly(self, path):
+        module = load_example(path)
+        assert module.__doc__, f"{path.stem} needs a usage docstring"
+        assert hasattr(module, "main"), f"{path.stem} needs a main() entry point"
+
+    def test_custom_workload_spec_is_valid(self):
+        module = load_example(EXAMPLES_DIR / "custom_workload.py")
+        assert module.HASH_JOIN.is_irregular
+        assert module.HASH_JOIN.footprint_mb == 512
+
+    def test_demand_paging_workload_partially_maps(self):
+        from repro.config import baseline_config
+        from repro.workloads.catalog import get_spec
+
+        module = load_example(EXAMPLES_DIR / "demand_paging.py")
+        config = baseline_config().derive(num_sms=4)
+        workload = module.DemandPagedWorkload(get_spec("bfs"), config, scale=0.1)
+        assert 0 < workload.space.mapped_pages < workload.touched_pages

@@ -1,0 +1,131 @@
+"""Unit tests for MSHR files and the L2 miss tracker (In-TLB MSHR)."""
+
+import pytest
+
+from repro.config import TLBConfig
+from repro.sim.stats import StatsRegistry
+from repro.tlb.mshr import MSHRFile, MSHRResult
+from repro.tlb.tlb import TLB
+from repro.tlb.tracker import L2MissTracker, TrackOutcome
+
+
+def make_mshr(entries=2, merges=3) -> MSHRFile:
+    return MSHRFile(entries, merges, StatsRegistry(), name="mshr")
+
+
+class TestMSHRFile:
+    def test_new_then_merge(self):
+        mshr = make_mshr()
+        assert mshr.allocate(1, "a") is MSHRResult.NEW
+        assert mshr.allocate(1, "b") is MSHRResult.MERGED
+        assert mshr.resolve(1) == ["a", "b"]
+        assert mshr.occupancy == 0
+
+    def test_capacity_limit(self):
+        mshr = make_mshr(entries=1)
+        assert mshr.allocate(1, "a") is MSHRResult.NEW
+        assert mshr.allocate(2, "b") is MSHRResult.FULL
+        assert mshr.is_full
+
+    def test_merge_limit(self):
+        mshr = make_mshr(entries=2, merges=2)
+        mshr.allocate(1, "a")
+        mshr.allocate(1, "b")
+        assert mshr.allocate(1, "c") is MSHRResult.FULL
+
+    def test_resolve_unknown_vpn(self):
+        assert make_mshr().resolve(42) == []
+
+    def test_zero_capacity_always_full(self):
+        mshr = make_mshr(entries=0)
+        assert mshr.allocate(1, "a") is MSHRResult.FULL
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MSHRFile(-1, 1, StatsRegistry(), name="x")
+        with pytest.raises(ValueError):
+            MSHRFile(1, 0, StatsRegistry(), name="x")
+
+
+def make_tracker(mshr_entries=2, in_tlb_limit=4, tlb_entries=8, assoc=4):
+    stats = StatsRegistry()
+    tlb = TLB(
+        TLBConfig(
+            entries=tlb_entries,
+            associativity=assoc,
+            latency=80,
+            mshr_entries=mshr_entries,
+            mshr_merges=3,
+        ),
+        stats,
+        name="l2tlb",
+    )
+    mshr = MSHRFile(mshr_entries, 3, stats, name="l2tlb.mshr")
+    return L2MissTracker(tlb, mshr, stats, in_tlb_limit=in_tlb_limit), tlb, mshr, stats
+
+
+class TestL2MissTracker:
+    def test_dedicated_mshr_first(self):
+        tracker, tlb, mshr, _ = make_tracker()
+        assert tracker.track(1, "a") is TrackOutcome.NEW
+        assert mshr.is_tracking(1)
+        assert tlb.pending_entries == 0
+
+    def test_merge_into_dedicated(self):
+        tracker, _, mshr, _ = make_tracker()
+        tracker.track(1, "a")
+        assert tracker.track(1, "b") is TrackOutcome.MERGED
+        assert tracker.resolve(1) == ["a", "b"]
+
+    def test_overflow_into_in_tlb(self):
+        tracker, tlb, _, _ = make_tracker(mshr_entries=1)
+        tracker.track(1, "a")  # fills the only MSHR
+        assert tracker.track(2, "b") is TrackOutcome.NEW
+        assert tlb.pending_entries == 1
+
+    def test_merge_into_in_tlb_pending(self):
+        tracker, tlb, _, _ = make_tracker(mshr_entries=1)
+        tracker.track(1, "a")
+        tracker.track(2, "b")
+        assert tracker.track(2, "c") is TrackOutcome.MERGED
+        waiters = tlb.fill(2, 42)
+        assert waiters == ["b", "c"]
+
+    def test_failure_when_in_tlb_disabled(self):
+        tracker, _, _, stats = make_tracker(mshr_entries=1, in_tlb_limit=0)
+        tracker.track(1, "a")
+        assert tracker.track(2, "b") is TrackOutcome.FAILED
+        assert stats.counters.get("l2tlb.mshr_failures") == 1
+
+    def test_failure_when_in_tlb_budget_exhausted(self):
+        tracker, _, _, _ = make_tracker(mshr_entries=1, in_tlb_limit=1)
+        tracker.track(1, "a")
+        tracker.track(2, "b")  # takes the single In-TLB slot
+        assert tracker.track(3, "c") is TrackOutcome.FAILED
+
+    def test_failure_when_set_is_all_pending(self):
+        # 2 sets x 2 ways; vpns 2,4,6 all map to set 0.
+        tracker, _, _, stats = make_tracker(
+            mshr_entries=1, in_tlb_limit=8, tlb_entries=4, assoc=2
+        )
+        tracker.track(1, "a")  # dedicated MSHR
+        assert tracker.track(2, "b") is TrackOutcome.NEW
+        assert tracker.track(4, "c") is TrackOutcome.NEW
+        # Set 0 has no non-pending way left: per-set bottleneck (spmv).
+        assert tracker.track(6, "d") is TrackOutcome.FAILED
+        assert stats.counters.get("l2tlb.pending_set_full") == 1
+
+    def test_merge_limit_on_pending(self):
+        tracker, _, _, _ = make_tracker(mshr_entries=1)
+        tracker.track(1, "a")
+        tracker.track(2, "b")
+        tracker.track(2, "c")
+        tracker.track(2, "d")
+        # merges capped at the MSHR file's merge limit (3).
+        assert tracker.track(2, "e") is TrackOutcome.FAILED
+
+    def test_outstanding_counts_both_structures(self):
+        tracker, _, _, _ = make_tracker(mshr_entries=1)
+        tracker.track(1, "a")
+        tracker.track(2, "b")
+        assert tracker.outstanding == 2

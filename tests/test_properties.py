@@ -1,0 +1,153 @@
+"""Property-based tests on whole-pipeline invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import baseline_config
+from repro.gpu.gpu import GPUSimulator
+from repro.gpu.translation import TranslationService
+from repro.harness.runner import build_workload
+from repro.pagetable.space import AddressSpace
+from repro.ptw.subsystem import HardwareWalkBackend
+from repro.ptw.walker import PteMemoryPort
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+from repro.tlb.pwc import PageWalkCache
+from repro.workloads.base import WorkloadSpec
+
+
+class FixedMemory:
+    def __init__(self, latency=80):
+        self.latency = latency
+
+    def pte_access(self, address, now):
+        return now + self.latency
+
+
+def make_service(config, space):
+    engine = Engine()
+    stats = StatsRegistry()
+    pwc = PageWalkCache(
+        config.ptw.pwc_entries, space.layout, space.radix.root_base, stats
+    )
+    backend = HardwareWalkBackend(
+        engine, config.ptw, space.radix, PteMemoryPort(FixedMemory()), pwc, stats
+    )
+    service = TranslationService(engine, config, space, pwc, backend, stats)
+    return engine, service, stats
+
+
+@st.composite
+def request_streams(draw):
+    """A batch of (sm, vpn, issue_time) translation requests."""
+    num_pages = draw(st.integers(min_value=1, max_value=40))
+    requests = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),       # sm
+                st.integers(min_value=0, max_value=num_pages - 1),  # page index
+                st.integers(min_value=0, max_value=500),      # issue time
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    return num_pages, requests
+
+
+class TestTranslationCorrectness:
+    @given(stream=request_streams(),
+           mshr_entries=st.sampled_from([2, 8, 128]),
+           walkers=st.sampled_from([1, 4, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_every_request_gets_the_right_pfn(self, stream, mshr_entries, walkers):
+        num_pages, requests = stream
+        config = (
+            baseline_config()
+            .derive(num_sms=4)
+            .with_l2_tlb(mshr_entries=mshr_entries)
+            .with_ptw(num_walkers=walkers)
+        )
+        space = AddressSpace(config.page_table)
+        base_vpn = 0x1000
+        expected = {
+            base_vpn + i: space.ensure_mapped(base_vpn + i) for i in range(num_pages)
+        }
+        engine, service, stats = make_service(config, space)
+
+        delivered = []
+        for sm, page, when in sorted(requests, key=lambda r: r[2]):
+            vpn = base_vpn + page
+            engine.schedule_at(
+                when,
+                lambda s=sm, v=vpn: service.request(
+                    s, v, engine.now,
+                    lambda t, pfn, v=v: delivered.append((v, pfn, t)),
+                ),
+            )
+        engine.run()
+
+        # Liveness: every single request completed.
+        assert len(delivered) == len(requests)
+        # Safety: each got the page table's answer, never stale/crossed.
+        for vpn, pfn, _t in delivered:
+            assert pfn == expected[vpn]
+        # Completion times are causal.
+        assert all(t >= 0 for _, _, t in delivered)
+        # Conservation: walks launched == completed, MSHRs fully drained.
+        assert stats.counters.get("walks.launched") == stats.counters.get(
+            "walks.completed"
+        )
+        assert service.l2_mshr.occupancy == 0
+        assert service.l2_tlb.pending_entries == 0
+        assert service.backpressure_depth == 0
+
+
+class TestSimulatorInvariants:
+    @given(
+        pattern=st.sampled_from(
+            ["uniform_random", "power_law", "streaming", "strided"]
+        ),
+        warps=st.integers(min_value=1, max_value=4),
+        insts=st.integers(min_value=1, max_value=4),
+        softwalker=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_runs_complete_with_consistent_stats(
+        self, pattern, warps, insts, softwalker
+    ):
+        spec = WorkloadSpec(
+            name=f"prop_{pattern}_{warps}_{insts}",
+            abbr="prop",
+            category="irregular",
+            footprint_mb=32,
+            pattern=pattern,
+            compute_per_mem=5,
+            warps_per_sm=warps,
+            mem_insts_per_warp=insts,
+        )
+        config = baseline_config().derive(num_sms=4)
+        if softwalker:
+            config = config.with_ptw(num_walkers=0).with_softwalker(enabled=True)
+        workload = build_workload(spec, config, scale=1.0)
+        result = GPUSimulator(config, workload).run()
+
+        counters = result.stats.counters
+        # TLB accounting closes.
+        assert counters.get("l1tlb.lookups") == counters.get(
+            "l1tlb.hits"
+        ) + counters.get("l1tlb.misses")
+        assert counters.get("l2tlb.lookups") == counters.get(
+            "l2tlb.hits"
+        ) + counters.get("l2tlb.misses")
+        # Every launched walk completes.
+        assert counters.get("walks.launched") == counters.get("walks.completed")
+        # Latency components are sane.
+        tracker = result.stats.latency("walk")
+        assert tracker.component_total("queueing") >= 0
+        if counters.get("walks.completed"):
+            assert tracker.count == counters.get("walks.completed")
+        # Issue accounting never exceeds physical issue slots.
+        assert result.instructions + result.pw_instructions <= (
+            result.cycles * config.num_sms
+        )

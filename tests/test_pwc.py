@@ -1,0 +1,101 @@
+"""Unit tests for the Page Walk Cache."""
+
+from repro.config import PageTableConfig
+from repro.pagetable.address import AddressLayout
+from repro.pagetable.allocator import FrameAllocator
+from repro.pagetable.radix import RadixPageTable
+from repro.sim.stats import StatsRegistry
+from repro.tlb.pwc import PageWalkCache
+
+
+def make_pwc(entries=4, min_level=1):
+    layout = AddressLayout.from_config(PageTableConfig())
+    stats = StatsRegistry()
+    pwc = PageWalkCache(
+        entries, layout, root_base=0xAAAA000, stats=stats, min_level=min_level
+    )
+    return pwc, layout, stats
+
+
+class TestProbe:
+    def test_cold_probe_falls_back_to_root(self):
+        pwc, layout, stats = make_pwc()
+        level, base = pwc.probe(0x12345)
+        assert level == layout.levels
+        assert base == 0xAAAA000
+        assert stats.counters.get("pwc.root_fallbacks") == 1
+
+    def test_probe_returns_deepest_cached_level(self):
+        pwc, _, _ = make_pwc()
+        vpn = 0x12345
+        pwc.fill(vpn, 3, 0x3000)
+        pwc.fill(vpn, 2, 0x2000)
+        level, base = pwc.probe(vpn)
+        assert (level, base) == (2, 0x2000)
+        pwc.fill(vpn, 1, 0x1000)
+        assert pwc.probe(vpn) == (1, 0x1000)
+
+    def test_neighbouring_vpns_share_entries(self):
+        pwc, _, _ = make_pwc()
+        pwc.fill(0x1200, 1, 0x1000)
+        # Same leaf table (same vpn >> 9): hit.
+        assert pwc.probe(0x13FF) == (1, 0x1000)
+        # Different leaf table: root fallback.
+        assert pwc.probe(0x1400)[0] == 4
+
+    def test_root_level_fills_are_ignored(self):
+        pwc, layout, _ = make_pwc()
+        pwc.fill(0x1, layout.levels, 0xDEAD)
+        assert pwc.occupancy == 0
+
+    def test_default_min_level_skips_leaf_pointers(self):
+        pwc, _, _ = make_pwc(min_level=2)
+        pwc.fill(0x1200, 1, 0x1000)  # PDE-cache style: not cached
+        assert pwc.occupancy == 0
+        pwc.fill(0x1200, 2, 0x2000)
+        assert pwc.probe(0x1200) == (2, 0x2000)
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        pwc, _, _ = make_pwc(entries=2)
+        pwc.fill(0x0 << 9, 1, 0x100)       # key A
+        pwc.fill(0x1 << 9, 1, 0x200)       # key B
+        pwc.probe(0x0 << 9)                # touch A
+        pwc.fill(0x2 << 9, 1, 0x300)       # evicts B
+        assert pwc.probe(0x1 << 9)[0] == 4  # B gone
+        assert pwc.probe(0x0 << 9) == (1, 0x100)
+
+    def test_update_in_place(self):
+        pwc, _, _ = make_pwc(entries=1)
+        pwc.fill(0x1200, 1, 0x100)
+        pwc.fill(0x1200, 1, 0x999)
+        assert pwc.probe(0x1200) == (1, 0x999)
+        assert pwc.occupancy == 1
+
+    def test_zero_entry_pwc_never_caches(self):
+        pwc, layout, _ = make_pwc(entries=0)
+        pwc.fill(0x1200, 1, 0x100)
+        assert pwc.probe(0x1200)[0] == layout.levels
+
+    def test_hit_rate(self):
+        pwc, _, _ = make_pwc()
+        pwc.fill(0x1200, 1, 0x100)
+        pwc.probe(0x1200)
+        pwc.probe(0xFFFFFF)
+        assert pwc.hit_rate() == 0.5
+
+
+class TestIntegrationWithRadixTable:
+    def test_walk_fills_match_table_nodes(self):
+        layout = AddressLayout.from_config(PageTableConfig())
+        table = RadixPageTable(layout, FrameAllocator(0, 1 << 12))
+        table.map(0x4321, 7)
+        pwc, _, _ = make_pwc(entries=8)
+        # Simulate the FPWC fills a walk performs.
+        for step in table.walk_path(0x4321):
+            if not step.is_leaf:
+                pwc.fill(0x4321, step.level - 1, step.value)
+        level, base = pwc.probe(0x4321)
+        assert level == 1
+        assert base == table.node_base(0x4321, 1)

@@ -1,0 +1,97 @@
+"""Unit tests for SimulationResult metrics (pure arithmetic paths)."""
+
+import pytest
+
+from repro.gpu.gpu import SimulationResult
+from repro.sim.stats import StatsRegistry
+
+
+def make_result(**overrides) -> SimulationResult:
+    params = dict(
+        workload="unit",
+        cycles=1000,
+        instructions=400,
+        pw_instructions=100,
+        stats=StatsRegistry(),
+        num_sms=2,
+        stall_cycles=1500,
+        memory_wait_cycles=800,
+    )
+    params.update(overrides)
+    return SimulationResult(**params)
+
+
+class TestSpeedup:
+    def test_speedup_over(self):
+        fast = make_result(cycles=500)
+        slow = make_result(cycles=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_zero_cycle_guard(self):
+        weird = make_result(cycles=0)
+        assert weird.speedup_over(make_result()) == float("inf")
+
+
+class TestIssueAccounting:
+    def test_issued_fraction(self):
+        result = make_result(cycles=1000, instructions=400, pw_instructions=100,
+                             num_sms=2)
+        assert result.issued_fraction == pytest.approx(500 / 2000)
+        assert result.stall_fraction == pytest.approx(1 - 500 / 2000)
+
+    def test_issued_fraction_capped_at_one(self):
+        result = make_result(cycles=10, instructions=1000, num_sms=1)
+        assert result.issued_fraction == 1.0
+
+    def test_empty_run(self):
+        result = make_result(cycles=0)
+        assert result.issued_fraction == 0.0
+
+
+class TestWalkLatencyViews:
+    def test_components_flow_through(self):
+        result = make_result()
+        result.stats.latency("walk").record(
+            queueing=900, access=100, communication=40, execution=10
+        )
+        assert result.walk_latency == pytest.approx(1050.0)
+        assert result.walk_queueing == pytest.approx(900.0)
+        assert result.walk_access == pytest.approx(100.0)
+        assert result.walk_overhead == pytest.approx(50.0)
+        assert result.queueing_fraction == pytest.approx(900 / 1050)
+
+    def test_no_walks(self):
+        result = make_result()
+        assert result.walk_latency == 0.0
+        assert result.queueing_fraction == 0.0
+
+
+class TestCounterViews:
+    def test_mpki(self):
+        result = make_result(instructions=2000)
+        result.stats.counters.add("l2tlb.demand_misses", 50)
+        assert result.l2_tlb_mpki == pytest.approx(25.0)
+        assert make_result(instructions=0).l2_tlb_mpki == 0.0
+
+    def test_l2_miss_rate(self):
+        result = make_result()
+        result.stats.counters.add("l2d.accesses", 100)
+        result.stats.counters.add("l2d.misses", 20)
+        result.stats.counters.add("l2d.sector_misses", 10)
+        assert result.l2_cache_miss_rate == pytest.approx(0.3)
+        assert make_result().l2_cache_miss_rate == 0.0
+
+    def test_hit_rate_and_failures(self):
+        result = make_result()
+        result.stats.counters.add("l2tlb.lookups", 10)
+        result.stats.counters.add("l2tlb.hits", 3)
+        result.stats.counters.add("l2tlb.mshr_failures", 7)
+        assert result.l2_tlb_hit_rate == pytest.approx(0.3)
+        assert result.mshr_failures == 7
+
+    def test_mean_memory_latency(self):
+        result = make_result(memory_wait_cycles=800)
+        result.stats.counters.add("gpu.mem_instructions", 40)
+        assert result.mean_memory_latency == pytest.approx(20.0)
+        assert make_result().mean_memory_latency == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for counters, histograms, latency trackers."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, LatencyTracker, StatsRegistry
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("hits")
+        c.add("hits", 4)
+        assert c.get("hits") == 5
+        assert c.get("absent") == 0
+
+    def test_ratio(self):
+        c = Counter()
+        c.add("hits", 3)
+        c.add("lookups", 4)
+        assert c.ratio("hits", "lookups") == pytest.approx(0.75)
+        assert c.ratio("hits", "absent") == 0.0
+
+    def test_reset(self):
+        c = Counter()
+        c.add("x", 7)
+        c.reset()
+        assert c.get("x") == 0
+
+    def test_as_dict_is_a_copy(self):
+        c = Counter()
+        c.add("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram()
+        for v in [1, 2, 2, 5]:
+            h.record(v)
+        assert h.count == 4
+        assert h.total == 10
+        assert h.mean == pytest.approx(2.5)
+        assert h.maximum == 5
+        assert h.minimum == 1
+
+    def test_weighted_record(self):
+        h = Histogram()
+        h.record(3, weight=10)
+        assert h.count == 10 and h.total == 30
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(v)
+        assert h.percentile(0.5) == 50
+        assert h.percentile(1.0) == 100
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0
+        assert h.maximum == 0
+
+
+class TestLatencyTracker:
+    def test_component_accounting(self):
+        t = LatencyTracker()
+        t.record(queueing=100, access=50)
+        t.record(queueing=300, access=50)
+        assert t.count == 2
+        assert t.mean_total == pytest.approx(250.0)
+        assert t.component_mean("queueing") == pytest.approx(200.0)
+        assert t.component_fraction("queueing") == pytest.approx(400 / 500)
+
+    def test_rejects_negative_components(self):
+        t = LatencyTracker()
+        with pytest.raises(ValueError):
+            t.record(queueing=-1)
+
+    def test_empty_tracker(self):
+        t = LatencyTracker()
+        assert t.mean_total == 0.0
+        assert t.component_fraction("x") == 0.0
+
+
+class TestStatsRegistry:
+    def test_histograms_and_latencies_are_memoised(self):
+        s = StatsRegistry()
+        assert s.histogram("a") is s.histogram("a")
+        assert s.latency("w") is s.latency("w")
+        s.histogram("b")
+        assert s.histogram_names() == ["a", "b"]
+        assert s.latency_names() == ["w"]

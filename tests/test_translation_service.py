@@ -1,0 +1,151 @@
+"""Integration tests for the translation pipeline (L1 -> L2 -> walks)."""
+
+import pytest
+
+from repro.config import GPUConfig, baseline_config
+from repro.gpu.gpu import GPUSimulator
+from repro.harness.runner import build_workload
+from repro.workloads.base import WorkloadSpec
+
+
+def tiny_config(**overrides) -> GPUConfig:
+    """A small GPU so tests run in milliseconds."""
+    return baseline_config().derive(num_sms=4, **overrides)
+
+
+def tiny_spec(**overrides) -> WorkloadSpec:
+    params = dict(
+        name="tiny_random",
+        abbr="tiny",
+        category="irregular",
+        footprint_mb=64,
+        pattern="uniform_random",
+        compute_per_mem=10,
+        warps_per_sm=4,
+        mem_insts_per_warp=4,
+    )
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+def run(config, spec=None, scale=1.0):
+    spec = spec or tiny_spec()
+    workload = build_workload(spec, config, scale=scale)
+    return GPUSimulator(config, workload).run()
+
+
+class TestEndToEnd:
+    def test_all_translations_complete(self):
+        result = run(tiny_config())
+        assert result.cycles > 0
+        assert result.walks_completed > 0
+
+    def test_deterministic_replay(self):
+        a = run(tiny_config())
+        b = run(tiny_config())
+        assert a.cycles == b.cycles
+        assert a.walks_completed == b.walks_completed
+
+    def test_l1_hits_short_circuit(self):
+        spec = tiny_spec(pattern="streaming", pattern_params={"lines_per_inst": 2},
+                         category="regular", name="tiny_stream")
+        result = run(tiny_config(), spec)
+        counters = result.stats.counters
+        assert counters.get("l1tlb.hits") > counters.get("l2tlb.lookups")
+
+    def test_walks_counted_once_per_distinct_miss(self):
+        result = run(tiny_config())
+        launched = result.stats.counters.get("walks.launched")
+        completed = result.stats.counters.get("walks.completed")
+        assert completed == launched
+
+    def test_pte_traffic_hits_l2_only(self):
+        result = run(tiny_config())
+        assert result.stats.counters.get("mem.pte_accesses") > 0
+
+    def test_mpki_positive_for_random_workload(self):
+        result = run(tiny_config())
+        assert result.l2_tlb_mpki > 1.0
+
+
+class TestSoftWalkerIntegration:
+    def test_softwalker_completes_and_speeds_up(self):
+        base = run(tiny_config())
+        soft_config = tiny_config().derive(
+            ptw=baseline_config().with_ptw(num_walkers=0).ptw,
+            softwalker=baseline_config().with_softwalker(enabled=True).softwalker,
+        )
+        soft = run(soft_config)
+        assert soft.walks_completed > 0
+        assert soft.speedup_over(base) > 1.0
+        # Communication overhead present only in the software path.
+        assert soft.walk_overhead > 0
+        assert base.walk_overhead == 0
+
+    def test_softwalker_queueing_lower_than_baseline(self):
+        base = run(tiny_config())
+        soft_config = tiny_config().derive(
+            ptw=baseline_config().with_ptw(num_walkers=0).ptw,
+            softwalker=baseline_config().with_softwalker(enabled=True).softwalker,
+        )
+        soft = run(soft_config)
+        assert soft.walk_queueing < base.walk_queueing
+
+    def test_pw_instructions_issued_on_sms(self):
+        soft_config = tiny_config().derive(
+            ptw=baseline_config().with_ptw(num_walkers=0).ptw,
+            softwalker=baseline_config().with_softwalker(enabled=True).softwalker,
+        )
+        soft = run(soft_config)
+        assert soft.pw_instructions > 0
+
+
+class TestBackpressure:
+    def test_mshr_failures_under_tiny_mshr(self):
+        config = tiny_config().with_l2_tlb(mshr_entries=2)
+        result = run(config)
+        assert result.mshr_failures > 0
+        assert result.walks_completed > 0  # everything still resolves
+
+    def test_in_tlb_mshr_reduces_failures(self):
+        small = tiny_config().with_l2_tlb(mshr_entries=2)
+        base = run(small)
+        with_intlb = small.derive(hw_in_tlb_mshr=True)
+        helped = run(with_intlb)
+        assert helped.mshr_failures < base.mshr_failures
+
+    def test_l1_mshr_pressure_is_survivable(self):
+        config = tiny_config()
+        config = config.derive(
+            l1_tlb=baseline_config().l1_tlb.__class__(
+                entries=4, associativity=0, latency=10, mshr_entries=2, mshr_merges=2
+            )
+        )
+        result = run(config)
+        assert result.stats.counters.get("l1tlb.mshr_failures") > 0
+        assert result.walks_completed > 0
+
+
+class TestConfigValidation:
+    def test_no_backend_rejected(self):
+        config = tiny_config().with_ptw(num_walkers=0)
+        with pytest.raises(ValueError):
+            run(config)
+
+    def test_hybrid_requires_hardware(self):
+        config = tiny_config().derive(
+            ptw=baseline_config().with_ptw(num_walkers=0).ptw,
+            softwalker=baseline_config()
+            .with_softwalker(enabled=True, hybrid=True)
+            .softwalker,
+        )
+        with pytest.raises(ValueError):
+            run(config)
+
+    def test_page_size_mismatch_rejected(self):
+        from repro.config import PAGE_SIZE_2M
+
+        workload = build_workload(tiny_spec(), tiny_config(), scale=1.0)
+        other = tiny_config().with_page_size(PAGE_SIZE_2M)
+        with pytest.raises(ValueError):
+            GPUSimulator(other, workload)

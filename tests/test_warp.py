@@ -1,0 +1,145 @@
+"""Unit tests for warp execution, coalescing, and SM issue accounting."""
+
+import pytest
+
+from repro.config import PAGE_SIZE_64K
+from repro.gpu.sm import SM
+from repro.gpu.warp import Warp, coalesce_lines, group_by_page
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+
+
+class InstantTranslation:
+    """Translation stub: fixed latency, identity mapping, logs requests."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.requests = []
+
+    def request(self, sm_id, vpn, now, callback):
+        self.requests.append((sm_id, vpn, now))
+        callback(now + self.latency, vpn + 1000)
+
+
+class InstantMemory:
+    def __init__(self, latency=40):
+        self.latency = latency
+        self.accesses = []
+
+    def data_access(self, sm_id, address, now):
+        self.accesses.append((sm_id, address, now))
+        return now + self.latency
+
+
+class TestCoalescing:
+    def test_coalesce_lines_dedups_lanes(self):
+        addresses = [0, 4, 64, 127, 128, 200]
+        assert coalesce_lines(addresses) == (0, 1)
+
+    def test_group_by_page(self):
+        # 512 lines per 64KB page.
+        groups = group_by_page([0, 511, 512, 1024], 512)
+        assert groups == {0: [0, 511], 1: [512], 2: [1024]}
+
+
+def run_warp(instructions, translation=None, memory=None):
+    engine = Engine()
+    sm = SM(0, StatsRegistry())
+    translation = translation or InstantTranslation()
+    memory = memory or InstantMemory()
+    finished = []
+    warp = Warp(
+        0, sm, engine, translation, memory, PAGE_SIZE_64K, instructions,
+        finished.append,
+    )
+    warp.start()
+    engine.run()
+    assert finished, "warp must complete"
+    return warp, sm, translation, memory, engine
+
+
+class TestWarpExecution:
+    def test_compute_only_trace(self):
+        warp, sm, _, _, engine = run_warp([("c", 10), ("c", 5)])
+        assert engine.now == 15  # issued back-to-back at 1 IPC
+        assert sm.user_issued == 15
+
+    def test_memory_instruction_translates_each_page(self):
+        # Two lines in page 0, one line in page 1.
+        warp, _, translation, memory, _ = run_warp([("m", (0, 1, 512))])
+        assert sorted(vpn for _, vpn, _ in translation.requests) == [0, 1]
+        assert len(memory.accesses) == 3
+
+    def test_physical_addresses_use_translated_pfn(self):
+        _, _, _, memory, _ = run_warp([("m", (513,))])
+        # vpn 1 -> pfn 1001; line 513 is line 1 within the page.
+        expected = (1001 << 16) | (1 << 7)
+        assert memory.accesses[0][1] == expected
+
+    def test_warp_blocks_until_all_lanes_complete(self):
+        class SlowPage(InstantTranslation):
+            def request(self, sm_id, vpn, now, callback):
+                delay = 1000 if vpn == 1 else 10
+                callback(now + delay, vpn + 1000)
+
+        warp, sm, _, _, engine = run_warp(
+            [("m", (0, 512)), ("c", 1)], translation=SlowPage()
+        )
+        # The compute instruction issues only after the slow page resolves.
+        assert engine.now >= 1000
+        assert sm.memory_wait >= 990
+
+    def test_consecutive_computes_fold(self):
+        warp, sm, _, _, engine = run_warp([("c", 3), ("c", 4), ("m", (0,)), ("c", 2)])
+        assert sm.user_issued == 3 + 4 + 1 + 2
+
+
+class TestIntraWarpSpread:
+    def test_spread_recorded_for_divergent_instruction(self):
+        class UnevenPages(InstantTranslation):
+            def request(self, sm_id, vpn, now, callback):
+                delay = {0: 10, 1: 510}[vpn]
+                callback(now + delay, vpn + 1000)
+
+        warp, sm, _, _, _ = run_warp(
+            [("m", (0, 512))], translation=UnevenPages(),
+            memory=InstantMemory(latency=0),
+        )
+        spread = sm.stats.histogram("warp.mem_spread")
+        assert spread.count == 1
+        assert spread.mean == pytest.approx(500.0)
+
+    def test_uniform_instruction_has_zero_spread(self):
+        warp, sm, _, _, _ = run_warp(
+            [("m", (0, 1))], memory=InstantMemory(latency=0)
+        )
+        assert sm.stats.histogram("warp.mem_spread").maximum == 0
+
+
+class TestSMIssueAccounting:
+    def test_port_serialises_issue(self):
+        sm = SM(0, StatsRegistry())
+        assert sm.issue(10, when=0) == 10
+        assert sm.issue(5, when=0) == 15  # port busy until 10
+        assert sm.user_issued == 15
+
+    def test_idle_gap_is_not_busy(self):
+        sm = SM(0, StatsRegistry())
+        sm.issue(10, when=0)
+        assert sm.issue(1, when=100) == 101
+        assert sm.issued_fraction(101) == 11 / 101
+
+    def test_priority_issue_starts_immediately(self):
+        sm = SM(0, StatsRegistry())
+        sm.issue(100, when=0)  # user warps occupy the port
+        done = sm.issue_priority(4, when=50)
+        assert done == 54  # PW warp preempts
+        # ... but its slots push user issue back.
+        assert sm.port_busy_until() == 104
+        assert sm.pw_issued == 4
+
+    def test_memory_wait_accumulates(self):
+        sm = SM(0, StatsRegistry())
+        sm.record_memory_wait(10)
+        sm.record_memory_wait(-5)  # ignored
+        assert sm.memory_wait == 10

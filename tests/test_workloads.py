@@ -1,0 +1,188 @@
+"""Unit + property tests for workload specs, patterns, and traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SIZE_2M, baseline_config
+from repro.workloads.base import IRREGULAR, REGULAR, TraceWorkload, WorkloadSpec
+from repro.workloads.catalog import (
+    ALL_ABBRS,
+    CATALOG,
+    IRREGULAR_ABBRS,
+    REGULAR_ABBRS,
+    SCALABLE_ABBRS,
+    get_spec,
+)
+from repro.workloads.microbench import MicrobenchWorkload
+from repro.workloads.patterns import PATTERNS, get_pattern
+
+
+class TestCatalog:
+    def test_twenty_benchmarks(self):
+        assert len(ALL_ABBRS) == 20
+        assert len(IRREGULAR_ABBRS) == 12
+        assert len(REGULAR_ABBRS) == 8
+
+    def test_table4_footprints(self):
+        assert CATALOG["bc"].footprint_mb == 1194
+        assert CATALOG["spmv"].footprint_mb == 288
+        assert CATALOG["cc"].footprint_mb == 2306
+
+    def test_paper_mpki_carried(self):
+        assert CATALOG["spmv"].paper_mpki == pytest.approx(2517.196)
+        assert CATALOG["gemm"].paper_mpki == pytest.approx(0.0614)
+
+    def test_scalable_subset_is_irregular(self):
+        for abbr in SCALABLE_ABBRS:
+            assert get_spec(abbr).is_irregular
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            get_spec("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", abbr="x", category="weird",
+                         footprint_mb=1, pattern="streaming")
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", abbr="x", category=REGULAR,
+                         footprint_mb=0, pattern="streaming")
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_patterns_emit_valid_line_indices(self, name):
+        rng = np.random.default_rng(7)
+        footprint = 100_000
+        lanes = get_pattern(name)(rng, 3, 16, 20, footprint)
+        assert lanes.shape[0] == 20
+        assert lanes.min() >= 0
+        assert lanes.max() < footprint
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            get_pattern("fractal")
+
+    def test_streaming_is_page_local(self):
+        rng = np.random.default_rng(7)
+        lanes = get_pattern("streaming")(rng, 0, 16, 50, 1 << 20)
+        pages_per_inst = [len({v // 512 for v in row}) for row in lanes]
+        assert max(pages_per_inst) <= 2
+
+    def test_uniform_random_is_page_divergent(self):
+        rng = np.random.default_rng(7)
+        lanes = get_pattern("uniform_random")(rng, 0, 16, 50, 1 << 22)
+        pages_per_inst = [len({int(v) // 512 for v in row}) for row in lanes]
+        assert sum(pages_per_inst) / len(pages_per_inst) > 25
+
+    def test_power_law_reuses_hot_pages(self):
+        rng = np.random.default_rng(7)
+        lanes = get_pattern("power_law")(
+            rng, 0, 16, 200, 1 << 22, alpha=1.4, sequential_fraction=0.0
+        )
+        values, counts = np.unique(lanes, return_counts=True)
+        assert counts.max() > 5  # hot vertices exist
+
+    @given(slot=st.integers(min_value=0, max_value=63),
+           footprint=st.integers(min_value=1024, max_value=1 << 22))
+    @settings(max_examples=20)
+    def test_strided_stays_in_footprint_property(self, slot, footprint):
+        rng = np.random.default_rng(0)
+        lanes = get_pattern("strided")(rng, slot, 64, 10, footprint)
+        assert lanes.min() >= 0 and lanes.max() < footprint
+
+
+class TestTraceWorkload:
+    def spec(self):
+        return WorkloadSpec(
+            name="trace_test", abbr="tt", category=IRREGULAR,
+            footprint_mb=32, pattern="uniform_random",
+            compute_per_mem=7, warps_per_sm=2, mem_insts_per_warp=3,
+        )
+
+    def test_trace_shape(self):
+        config = baseline_config().derive(num_sms=4)
+        workload = TraceWorkload(self.spec(), config)
+        assert len(workload.traces) == 4
+        assert all(len(sm) == 2 for sm in workload.traces)
+        mem_insts = [
+            inst for sm in workload.traces for w in sm for inst in w if inst[0] == "m"
+        ]
+        assert len(mem_insts) == 4 * 2 * 3
+
+    def test_compute_blocks_interleaved(self):
+        config = baseline_config().derive(num_sms=1)
+        workload = TraceWorkload(self.spec(), config)
+        trace = workload.traces[0][0]
+        kinds = [inst[0] for inst in trace]
+        assert kinds == ["c", "m"] * 3
+
+    def test_determinism_per_name(self):
+        config = baseline_config().derive(num_sms=2)
+        a = TraceWorkload(self.spec(), config)
+        b = TraceWorkload(self.spec(), config)
+        assert a.traces == b.traces
+
+    def test_scale_shrinks_trace(self):
+        config = baseline_config().derive(num_sms=2)
+        small = TraceWorkload(self.spec(), config, scale=1 / 3)
+        assert small.mem_insts_per_warp == 1
+
+    def test_every_touched_page_is_mapped(self):
+        config = baseline_config().derive(num_sms=2)
+        workload = TraceWorkload(self.spec(), config)
+        assert workload.space.mapped_pages == workload.touched_pages
+        lines_per_page = workload.page_size // 128
+        for sm in workload.traces:
+            for warp in sm:
+                for inst in warp:
+                    if inst[0] == "m":
+                        for line in inst[1]:
+                            workload.space.translate(line // lines_per_page)
+
+    def test_2mb_pages_reuse_same_line_space(self):
+        spec = self.spec()
+        small = TraceWorkload(spec, baseline_config().derive(num_sms=2))
+        large = TraceWorkload(
+            spec, baseline_config().derive(num_sms=2).with_page_size(PAGE_SIZE_2M)
+        )
+        assert small.traces == large.traces  # page-size independent
+        assert large.touched_pages < small.touched_pages
+
+    def test_footprint_scale_expands_reach(self):
+        config = baseline_config().derive(num_sms=2)
+        base = TraceWorkload(self.spec(), config)
+        wide = TraceWorkload(self.spec(), config, footprint_scale=4.0)
+        assert wide.footprint_lines == 4 * base.footprint_lines
+
+
+class TestMicrobench:
+    def test_exact_warp_count(self):
+        config = baseline_config()
+        for concurrency in (1, 46, 100):
+            workload = MicrobenchWorkload(config, concurrency)
+            assert workload.active_warps == concurrency
+
+    def test_single_lane_accesses(self):
+        workload = MicrobenchWorkload(baseline_config(), 4)
+        for sm in workload.traces:
+            for warp in sm:
+                for inst in warp:
+                    if inst[0] == "m":
+                        assert len(inst[1]) == 1
+
+    def test_each_access_new_page(self):
+        workload = MicrobenchWorkload(baseline_config(), 2)
+        lines_per_page = workload.page_size // 128
+        for sm in workload.traces:
+            for warp in sm:
+                pages = [
+                    inst[1][0] // lines_per_page for inst in warp if inst[0] == "m"
+                ]
+                assert len(set(pages)) == len(pages)
+
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(ValueError):
+            MicrobenchWorkload(baseline_config(), 0)
