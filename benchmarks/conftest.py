@@ -10,7 +10,27 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import pytest
+
+from repro.harness.runner import cache_info, clear_cache
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(autouse=True, scope="session")
+def drop_memo_cache():
+    """Release memoised SimulationResults once the bench session ends.
+
+    Figure experiments share runs through the runner's LRU memo; the
+    telemetry line makes cache effectiveness visible in bench logs.
+    """
+    yield
+    info = cache_info()
+    print(
+        f"\nrunner cache: {info['hits']} hits / {info['misses']} misses / "
+        f"{info['evictions']} evictions ({info['entries']} entries held)"
+    )
+    clear_cache()
 
 
 def run_experiment(benchmark, experiment_fn, **kwargs):

@@ -23,8 +23,15 @@ from repro.config import (
     nha_config,
     softwalker_config,
 )
-from repro.gpu.gpu import GPUSimulator, SimulationResult
+from repro.gpu.gpu import GPUSimulator, SimulationResult, SimulationTruncated
 from repro.harness.runner import build_workload, run_matrix, run_workload, speedups
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSampler,
+    Observability,
+    TraceRecorder,
+    validate_chrome_trace,
+)
 from repro.workloads.base import TraceWorkload, WorkloadSpec
 from repro.workloads.catalog import (
     ALL_ABBRS,
@@ -49,6 +56,12 @@ __all__ = [
     "softwalker_config",
     "GPUSimulator",
     "SimulationResult",
+    "SimulationTruncated",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "Observability",
+    "TraceRecorder",
+    "validate_chrome_trace",
     "build_workload",
     "run_matrix",
     "run_workload",

@@ -6,6 +6,8 @@ Commands:
 * ``run`` — simulate one benchmark under one configuration.
 * ``compare`` — baseline vs a set of techniques on one benchmark.
 * ``figure`` — regenerate one of the paper's figures/tables by name.
+* ``trace`` — record a run's request lifecycle as Chrome trace JSON.
+* ``metrics`` — sample time-series gauges during a run, export JSON.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.config import (
 )
 from repro.harness import experiments
 from repro.harness.runner import run_workload
+from repro.obs import Observability, validate_chrome_trace
 from repro.workloads.catalog import ALL_ABBRS, CATALOG, get_spec
 
 #: Named configurations selectable from the command line.
@@ -97,6 +100,36 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--scale", type=float, default=None)
     figure_parser.add_argument(
         "--save", metavar="DIR", help="also write the table under DIR"
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="record a run as Chrome trace JSON (chrome://tracing)"
+    )
+    trace_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    trace_parser.add_argument(
+        "--config", choices=sorted(CONFIGS), default="baseline"
+    )
+    trace_parser.add_argument("--scale", type=float, default=0.1)
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    trace_parser.add_argument(
+        "--jsonl", metavar="PATH", help="also write raw events as JSON lines"
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="sample time-series gauges during a run"
+    )
+    metrics_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    metrics_parser.add_argument(
+        "--config", choices=sorted(CONFIGS), default="baseline"
+    )
+    metrics_parser.add_argument("--scale", type=float, default=0.1)
+    metrics_parser.add_argument(
+        "--out", default="metrics.json", help="metrics JSON output path"
+    )
+    metrics_parser.add_argument(
+        "--interval", type=int, default=1000, help="sample interval in cycles"
     )
     return parser
 
@@ -179,6 +212,73 @@ def cmd_figure(name: str, scale: float | None, save: str | None) -> int:
     return 0
 
 
+def cmd_trace(
+    benchmark: str,
+    config_name: str,
+    scale: float,
+    out: str,
+    jsonl: str | None,
+) -> int:
+    config = CONFIGS[config_name]()
+    obs = Observability.tracing()
+    result = run_workload(config, benchmark, scale=scale, obs=obs)
+    validate_chrome_trace(obs.trace.chrome_trace())
+    path = obs.trace.write_chrome(out)
+    if jsonl:
+        obs.trace.write_jsonl(jsonl)
+
+    # Cross-check the trace-derived walk breakdown against the
+    # LatencyTracker aggregates (the Figure 7 components).
+    spans = obs.trace.span_durations("walk.")
+    shares = result.stats.latency("walk").component_shares()
+    total = sum(spans.values())
+    rows = []
+    for component in ("queueing", "communication", "execution", "access"):
+        from_trace = spans.get(f"walk.{component}", 0) / total if total else 0.0
+        rows.append(
+            [component, f"{from_trace:.1%}", f"{shares.get(component, 0.0):.1%}"]
+        )
+    print(
+        format_table(
+            ["walk component", "share (trace)", "share (aggregate)"],
+            rows,
+            title=f"{benchmark} under {config_name}: {obs.trace.num_events} events",
+        )
+    )
+    print(f"\nwrote {path} — open in chrome://tracing or https://ui.perfetto.dev")
+    if jsonl:
+        print(f"wrote {jsonl}")
+    return 0
+
+
+def cmd_metrics(
+    benchmark: str, config_name: str, scale: float, out: str, interval: int
+) -> int:
+    if interval < 1:
+        print("error: --interval must be >= 1 cycle", file=sys.stderr)
+        return 2
+    config = CONFIGS[config_name]()
+    obs = Observability.sampling(interval)
+    run_workload(config, benchmark, scale=scale, obs=obs)
+    path = obs.metrics.write_json(out)
+    rows = [
+        [name, f"{obs.metrics.mean(name):.2f}", f"{obs.metrics.peak(name):.2f}"]
+        for name in obs.metrics.gauge_names()
+    ]
+    print(
+        format_table(
+            ["gauge", "mean", "peak"],
+            rows,
+            title=(
+                f"{benchmark} under {config_name}: "
+                f"{obs.metrics.samples_taken} samples every {interval} cycles"
+            ),
+        )
+    )
+    print(f"\nwrote {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -189,6 +289,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_compare(args.benchmark, args.scale)
     if args.command == "figure":
         return cmd_figure(args.name, args.scale, args.save)
+    if args.command == "trace":
+        return cmd_trace(args.benchmark, args.config, args.scale, args.out, args.jsonl)
+    if args.command == "metrics":
+        return cmd_metrics(
+            args.benchmark, args.config, args.scale, args.out, args.interval
+        )
     raise AssertionError(f"unhandled command {args.command}")
 
 

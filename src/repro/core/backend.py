@@ -66,6 +66,7 @@ class SoftWalkerBackend:
             stats=stats,
             policy=sw.distributor_policy,
             idleness=lambda sm_id: sms[sm_id].port_busy_until(),
+            clock=lambda: engine.now,
         )
         self.distributor.dispatch = self._dispatch
         for controller in self.controllers:
@@ -90,6 +91,18 @@ class SoftWalkerBackend:
     @property
     def in_flight(self) -> int:
         return self.distributor.in_flight
+
+    def register_metrics(self, metrics) -> None:
+        """Expose distributor backlog and PW-warp occupancy as gauges."""
+        self.distributor.register_metrics(metrics)
+        metrics.register_gauge(
+            "softwalker.active_walks",
+            lambda: sum(c.active_walks for c in self.controllers),
+        )
+        metrics.register_gauge(
+            "softwalker.softpwb_occupied",
+            lambda: sum(c.softpwb.occupied for c in self.controllers),
+        )
 
 
 class HybridBackend:
@@ -117,3 +130,7 @@ class HybridBackend:
             self.hardware.submit(request)
         else:
             self.software.submit(request)
+
+    def register_metrics(self, metrics) -> None:
+        self.hardware.register_metrics(metrics)
+        self.software.register_metrics(metrics)

@@ -54,6 +54,7 @@ class SoftWalkerController:
         #: latency per the paper's methodology.
         self.communication_latency = communication_latency
         self.softpwb = SoftPWB(config.softpwb_entries)
+        self._trace = stats.obs.trace
         self._active_walks = 0
         #: Wired by the backend: invoked at FL2T time with the result.
         self.on_complete: CompletionCallback | None = None
@@ -79,6 +80,16 @@ class SoftWalkerController:
             # is broken.
             raise RuntimeError(f"SoftPWB overflow on SM {self.sm.sm_id}")
         self.stats.counters.add("softwalker.received")
+        if self._trace.enabled:
+            self._trace.instant(
+                f"sm{self.sm.sm_id}",
+                "softwalker.arrive",
+                self.engine.now,
+                id=request.trace_id,
+                vpn=request.vpn,
+                slot=index,
+                occupied=self.softpwb.occupied,
+            )
         self._maybe_launch()
 
     # ------------------------------------------------------------------
@@ -113,6 +124,15 @@ class SoftWalkerController:
     def _execute(self, slot_index: int, request: WalkRequest) -> None:
         now = self.engine.now
         request.queueing += now - request.enqueue_time - request.communication
+        if self._trace.enabled:
+            self._trace.instant(
+                f"sm{self.sm.sm_id}",
+                "softwalker.walk_start",
+                now,
+                id=request.trace_id,
+                vpn=request.vpn,
+                active=self._active_walks,
+            )
         t = self._issue_block(len(PageWalkProgram.PROLOGUE), now, request)
 
         steps = self.page_table.walk_path(request.vpn, request.start_level)

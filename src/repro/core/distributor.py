@@ -31,6 +31,7 @@ class RequestDistributor:
         policy: str = DistributorPolicy.ROUND_ROBIN,
         idleness: Callable[[int], int] | None = None,
         seed: int = 97,
+        clock: Callable[[], int] | None = None,
     ) -> None:
         if policy not in DistributorPolicy.ALL:
             raise ValueError(f"unknown distributor policy {policy!r}")
@@ -41,6 +42,10 @@ class RequestDistributor:
         self.stats = stats
         self.policy = policy
         self._idleness = idleness
+        self._trace = stats.obs.trace
+        #: Simulation-time probe for trace timestamps; falls back to each
+        #: request's enqueue time when the backend wires no clock.
+        self._clock = clock
         self._counters = [0] * num_sms
         self._cursor = 0
         self._rng = random.Random(seed)
@@ -71,12 +76,26 @@ class RequestDistributor:
                 return sm
         return None
 
+    def _now(self, request: WalkRequest) -> int:
+        return self._clock() if self._clock is not None else request.enqueue_time
+
     def submit(self, request: WalkRequest) -> None:
         """Assign ``request`` to a core, or park it until one frees up."""
         sm = self._select()
         if sm is None:
             self._overflow.append(request)
             self.stats.counters.add("distributor.overflow")
+            if self._trace.enabled:
+                now = self._now(request)
+                self._trace.instant(
+                    "distributor", "distributor.overflow", now, vpn=request.vpn
+                )
+                self._trace.counter(
+                    "distributor",
+                    "distributor.overflow_depth",
+                    now,
+                    depth=len(self._overflow),
+                )
             return
         self._send(sm, request)
 
@@ -85,6 +104,15 @@ class RequestDistributor:
             raise RuntimeError("RequestDistributor.dispatch not wired")
         self._counters[sm] += 1
         self.stats.counters.add("distributor.dispatched")
+        if self._trace.enabled:
+            self._trace.instant(
+                "distributor",
+                "distributor.dispatch",
+                self._now(request),
+                id=request.trace_id,
+                sm=sm,
+                vpn=request.vpn,
+            )
         self.dispatch(sm, request)
 
     # ------------------------------------------------------------------
@@ -102,6 +130,13 @@ class RequestDistributor:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def register_metrics(self, metrics) -> None:
+        """Expose dispatch backlog state as sampled gauges."""
+        metrics.register_gauge("distributor.in_flight", lambda: self.in_flight)
+        metrics.register_gauge(
+            "distributor.overflow_depth", lambda: len(self._overflow)
+        )
+
     def counter(self, sm: int) -> int:
         return self._counters[sm]
 

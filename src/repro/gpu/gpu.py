@@ -10,6 +10,7 @@ runs the workload to completion, and returns a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.config import GPUConfig
@@ -19,6 +20,7 @@ from repro.gpu.sm import SM
 from repro.gpu.translation import TranslationService
 from repro.gpu.warp import Warp
 from repro.memory.hierarchy import MemorySystem
+from repro.obs import NULL_OBS, MetricsSampler, Observability
 from repro.ptw.hashed_backend import make_hashed_traversal
 from repro.ptw.subsystem import HardwareWalkBackend
 from repro.ptw.walker import PteMemoryPort
@@ -26,6 +28,10 @@ from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
 from repro.tlb.pwc import PageWalkCache
 from repro.workloads.base import TraceWorkload
+
+
+class SimulationTruncated(RuntimeError):
+    """The ``max_events`` safety valve fired before the workload finished."""
 
 
 @dataclass
@@ -133,13 +139,22 @@ class SimulationResult:
 class GPUSimulator:
     """One configured GPU executing one workload."""
 
-    def __init__(self, config: GPUConfig, workload: TraceWorkload) -> None:
+    def __init__(
+        self,
+        config: GPUConfig,
+        workload: TraceWorkload,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         if workload.config.page_table != config.page_table:
             raise ValueError("workload was generated for a different page-table setup")
         self.config = config
         self.workload = workload
+        self.obs = obs if obs is not None else NULL_OBS
         self.engine = Engine()
-        self.stats = StatsRegistry()
+        if self.obs.profile_engine:
+            self.engine.enable_profiling()
+        self.stats = StatsRegistry(self.obs)
         self.space = workload.space
         self.memory = MemorySystem(config, self.stats)
         self.sms = [SM(i, self.stats) for i in range(config.num_sms)]
@@ -167,6 +182,8 @@ class GPUSimulator:
         )
         self._warps = self._build_warps()
         self._warps_remaining = len(self._warps)
+        if self.obs.metrics.enabled:
+            self._register_metrics()
 
     # ------------------------------------------------------------------
     # Construction
@@ -238,17 +255,50 @@ class GPUSimulator:
     def _warp_done(self, _warp: Warp) -> None:
         self._warps_remaining -= 1
 
+    def _register_metrics(self) -> None:
+        """Wire every component's gauges into the sampled registry."""
+        metrics = self.obs.metrics
+        self.translation.register_metrics(metrics)
+        self.backend.register_metrics(metrics)
+        self.memory.register_metrics(metrics)
+        self.pwc.register_metrics(metrics)
+        metrics.register_gauge("engine.pending_events", lambda: self.engine.real_pending)
+        metrics.register_gauge("gpu.warps_remaining", lambda: self._warps_remaining)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, *, max_events: int | None = None) -> SimulationResult:
         for warp in self._warps:
             warp.start()
+        if self.obs.metrics.enabled:
+            MetricsSampler(
+                self.engine,
+                self.obs.metrics,
+                self.obs.sample_interval,
+                trace=self.obs.trace,
+            ).start()
         self.engine.run(max_events=max_events)
         if self._warps_remaining:
+            if self.engine.truncated:
+                raise SimulationTruncated(
+                    f"max_events={max_events} fired with "
+                    f"{self._warps_remaining} warps unfinished and "
+                    f"{self.engine.real_pending} events still pending; "
+                    f"raise max_events or shrink the workload"
+                )
             raise RuntimeError(
                 f"simulation drained with {self._warps_remaining} warps unfinished "
                 f"(event starvation — likely a wiring bug)"
+            )
+        if self.engine.truncated:
+            # All warps finished but the valve still cut residual events
+            # (e.g. in-flight prefetches); results are usable but inexact.
+            warnings.warn(
+                f"max_events={max_events} truncated {self.engine.real_pending} "
+                f"residual events after the last warp finished",
+                RuntimeWarning,
+                stacklevel=2,
             )
         cycles = self.engine.now
         instructions = sum(sm.user_issued for sm in self.sms)

@@ -60,6 +60,7 @@ class TranslationService:
         self.pwc = pwc
         self.backend = backend
         self.stats = stats
+        self._trace = stats.obs.trace
         self.fault_handler = fault_handler
         backend.on_complete = self._walk_complete
 
@@ -142,6 +143,15 @@ class TranslationService:
         l1 = self.l1_tlbs[sm_id]
         lookup_done = now + self.config.l1_tlb.latency
         pfn = l1.lookup(vpn)
+        trace = self._trace
+        if trace.enabled:
+            trace.instant(
+                f"sm{sm_id}",
+                "xlat.request",
+                now,
+                vpn=vpn,
+                l1="hit" if pfn is not None else "miss",
+            )
         if pfn is not None:
             callback(lookup_done, pfn)
             return
@@ -159,6 +169,8 @@ class TranslationService:
             # The L1 MSHR file throttles per-SM outstanding translations;
             # the access replays once a response frees an entry.
             self.stats.counters.add("l1tlb.mshr_failures")
+            if trace.enabled:
+                trace.instant(f"sm{sm_id}", "l1tlb.mshr_full", now, vpn=vpn)
             parked = self._l1_parked[sm_id]
             waiters = parked.get(vpn)
             if waiters is None:
@@ -223,6 +235,17 @@ class TranslationService:
         now = self.engine.now
         lookup_done = now + self.config.l2_tlb.latency
         pfn = self.l2_tlb.lookup(vpn)
+        trace = self._trace
+        if trace.enabled:
+            trace.instant(
+                "l2tlb",
+                "l2tlb.lookup",
+                now,
+                sm=sm_id,
+                vpn=vpn,
+                hit=pfn is not None,
+                retry=is_retry,
+            )
         if pfn is not None:
             self._first_miss.pop(vpn, None)
             self._respond(sm_id, vpn, pfn, lookup_done)
@@ -240,6 +263,11 @@ class TranslationService:
             self.stats.histogram("l2tlb.backpressure_depth").record(
                 len(self._backpressure)
             )
+            if trace.enabled:
+                trace.instant("l2tlb", "l2tlb.mshr_failure", now, sm=sm_id, vpn=vpn)
+                trace.counter(
+                    "l2tlb", "l2tlb.backpressure", now, depth=len(self._backpressure)
+                )
 
     def _launch_walk(self, vpn: int, enqueue_time: int, sm_id: int = -1) -> None:
         start_level, node_base = self.pwc.probe(vpn)
@@ -251,6 +279,18 @@ class TranslationService:
             requester_sm=sm_id,
         )
         self.stats.counters.add("walks.launched")
+        trace = self._trace
+        if trace.enabled:
+            request.trace_id = trace.new_id()
+            trace.instant(
+                "walks",
+                "walk.launch",
+                self.engine.now,
+                id=request.trace_id,
+                sm=sm_id,
+                vpn=vpn,
+                start_level=start_level,
+            )
         self.backend.submit(request)
 
     # ------------------------------------------------------------------
@@ -273,6 +313,25 @@ class TranslationService:
             communication=request.communication,
             execution=request.execution,
         )
+        trace = self._trace
+        if trace.enabled:
+            # The walk's async span carries one nested leg per latency
+            # component, so folding the trace by span name reproduces
+            # the LatencyTracker's Figure 7/18 breakdown exactly.
+            trace.lifecycle(
+                "walk",
+                request.trace_id,
+                now,
+                {
+                    "queueing": request.queueing + pre_walk_wait,
+                    "communication": request.communication,
+                    "execution": request.execution,
+                    "access": request.access,
+                },
+                vpn=request.vpn,
+                sm=request.requester_sm,
+                merged=len(request.merged_vpns),
+            )
         assert outcome.pfn is not None
         self._resolve_vpn(request.vpn, outcome.pfn, now)
         for vpn in request.merged_vpns:
@@ -337,6 +396,28 @@ class TranslationService:
                 self.request(sm_id, next_vpn, time, callback)
             if self.l1_mshrs[sm_id].is_tracking(next_vpn) or next_vpn in parked:
                 break
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, metrics) -> None:
+        """Expose the TLB hierarchy's live state as sampled gauges."""
+        metrics.register_gauge("l2tlb.hit_rate", self.l2_tlb.hit_rate)
+        metrics.register_gauge("l2tlb.mshr_occupancy", lambda: self.l2_mshr.occupancy)
+        metrics.register_gauge(
+            "l2tlb.pending_entries", lambda: self.l2_tlb.pending_entries
+        )
+        metrics.register_gauge(
+            "l2tlb.backpressure_depth", lambda: len(self._backpressure)
+        )
+        metrics.register_gauge(
+            "l1tlb.mshr_occupancy",
+            lambda: sum(mshr.occupancy for mshr in self.l1_mshrs),
+        )
+        metrics.register_gauge(
+            "l1tlb.parked_vpns",
+            lambda: sum(len(parked) for parked in self._l1_parked),
+        )
 
     # ------------------------------------------------------------------
     # Introspection

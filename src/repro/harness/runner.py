@@ -7,19 +7,29 @@ cycles ratios over the same work.
 ``REPRO_SCALE`` (float, default 1.0) scales trace length globally:
 tests run at tiny scales, benches at 1.0, and patient users can crank
 it up for smoother numbers.
+
+``REPRO_TRACE`` (directory path) turns on full observability for every
+:func:`run_workload` call, writing one Chrome trace + metrics JSON pair
+per run into the directory.  ``REPRO_CACHE_ENTRIES`` (int, default 128)
+bounds the :func:`run_cached` memo.
 """
 
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Iterable, Mapping
 
 from repro.config import GPUConfig
 from repro.gpu.gpu import GPUSimulator, SimulationResult
+from repro.obs import MetricsRegistry, Observability
 from repro.workloads.base import TraceWorkload, WorkloadSpec
 from repro.workloads.catalog import get_spec
 
 _SCALE_ENV = "REPRO_SCALE"
+_TRACE_ENV = "REPRO_TRACE"
+_CACHE_ENV = "REPRO_CACHE_ENTRIES"
+_DEFAULT_CACHE_ENTRIES = 128
 
 
 def default_scale() -> float:
@@ -51,6 +61,33 @@ def build_workload(
     )
 
 
+def _env_observability() -> Observability | None:
+    """Build a per-run observability bundle when ``REPRO_TRACE`` is set.
+
+    The env value names a directory; each run writes
+    ``<abbr>-<n>.trace.json`` / ``<abbr>-<n>.metrics.json`` into it.
+    """
+    target = os.environ.get(_TRACE_ENV)
+    if not target:
+        return None
+    os.makedirs(target, exist_ok=True)
+    return Observability.full()
+
+
+def _export_env_trace(obs: Observability, benchmark_abbr: str) -> None:
+    target = os.environ.get(_TRACE_ENV)
+    if not target:
+        return
+    n = 0
+    while True:
+        stem = os.path.join(target, f"{benchmark_abbr}-{n}")
+        if not os.path.exists(stem + ".trace.json"):
+            break
+        n += 1
+    obs.trace.write_chrome(stem + ".trace.json")
+    obs.metrics.write_json(stem + ".metrics.json")
+
+
 def run_workload(
     config: GPUConfig,
     benchmark: str | WorkloadSpec,
@@ -58,6 +95,7 @@ def run_workload(
     scale: float | None = None,
     footprint_scale: float = 1.0,
     seed: int | None = None,
+    obs: Observability | None = None,
 ) -> SimulationResult:
     """Build the benchmark's trace under ``config`` and simulate it."""
     workload = build_workload(
@@ -67,13 +105,37 @@ def run_workload(
         footprint_scale=footprint_scale,
         seed=seed,
     )
-    return GPUSimulator(config, workload).run()
+    env_obs = None
+    if obs is None:
+        env_obs = _env_observability()
+        obs = env_obs
+    result = GPUSimulator(config, workload, obs=obs).run()
+    if env_obs is not None:
+        _export_env_trace(env_obs, workload.spec.abbr)
+    return result
+
+
+def _cache_capacity() -> int:
+    value = os.environ.get(_CACHE_ENV)
+    if value is None:
+        return _DEFAULT_CACHE_ENTRIES
+    capacity = int(value)
+    if capacity <= 0:
+        raise ValueError(f"{_CACHE_ENV} must be positive, got {value!r}")
+    return capacity
 
 
 #: Memoised results: identical (config, benchmark, scale) runs are
 #: deterministic, so figures sharing configurations reuse each other's
-#: simulations within one process.
-_CACHE: dict[tuple, SimulationResult] = {}
+#: simulations within one process.  Bounded LRU (``REPRO_CACHE_ENTRIES``)
+#: so long sweeps don't pin every SimulationResult in memory.
+_CACHE: OrderedDict[tuple, SimulationResult] = OrderedDict()
+
+#: Process-wide cache telemetry, visible via :func:`cache_info`.
+cache_metrics = MetricsRegistry()
+_cache_hits = cache_metrics.counter("runner.cache.hits")
+_cache_misses = cache_metrics.counter("runner.cache.misses")
+_cache_evictions = cache_metrics.counter("runner.cache.evictions")
 
 
 def run_cached(
@@ -87,14 +149,35 @@ def run_cached(
     spec = get_spec(benchmark) if isinstance(benchmark, str) else benchmark
     effective_scale = scale if scale is not None else default_scale()
     key = (config, spec.abbr, effective_scale, footprint_scale)
-    if key not in _CACHE:
-        _CACHE[key] = run_workload(
-            config, spec, scale=effective_scale, footprint_scale=footprint_scale
-        )
-    return _CACHE[key]
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _cache_hits.inc()
+        _CACHE.move_to_end(key)
+        return cached
+    _cache_misses.inc()
+    result = run_workload(
+        config, spec, scale=effective_scale, footprint_scale=footprint_scale
+    )
+    _CACHE[key] = result
+    while len(_CACHE) > _cache_capacity():
+        _CACHE.popitem(last=False)
+        _cache_evictions.inc()
+    return result
+
+
+def cache_info() -> dict[str, int]:
+    """Memo-cache telemetry: hits, misses, evictions, current size."""
+    return {
+        "hits": _cache_hits.value,
+        "misses": _cache_misses.value,
+        "evictions": _cache_evictions.value,
+        "entries": len(_CACHE),
+        "capacity": _cache_capacity(),
+    }
 
 
 def clear_cache() -> None:
+    """Drop every memoised result (counters are left running)."""
     _CACHE.clear()
 
 

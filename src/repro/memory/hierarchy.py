@@ -58,3 +58,14 @@ class MemorySystem:
 
     def l2_miss_rate(self) -> float:
         return self.l2.miss_rate()
+
+    def register_metrics(self, metrics) -> None:
+        """Expose memory-side pressure as sampled gauges."""
+        metrics.register_gauge("l2d.miss_rate", self.l2.miss_rate)
+        metrics.register_gauge("l2d.resident_lines", self.l2.resident_lines)
+        metrics.register_gauge(
+            "dram.accesses", lambda: self.stats.counters.get("dram.accesses")
+        )
+        metrics.register_gauge(
+            "mem.pte_accesses", lambda: self.stats.counters.get("mem.pte_accesses")
+        )

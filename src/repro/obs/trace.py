@@ -1,0 +1,341 @@
+"""Trace recording: span/instant/counter events on simulated timelines.
+
+The recorder collects Chrome trace-event objects (the format read by
+``chrome://tracing`` and Perfetto) keyed to the simulation clock, so a
+request's journey through SM -> L1/L2 TLB -> MSHR -> PWB -> walker ->
+memory can be inspected visually.  Timestamps are GPU core cycles,
+rendered by the viewers as microseconds.
+
+Two recorder flavours share one API:
+
+* :class:`TraceRecorder` — the real thing.  Buffers events in memory
+  and exports Chrome-trace JSON or a plain JSONL stream.
+* :class:`NullTraceRecorder` — the default.  Every method is a no-op
+  and ``enabled`` is False, so instrumented components pay exactly one
+  attribute load and branch per hook site when tracing is off.
+
+Hook sites must guard event construction::
+
+    if self._trace.enabled:
+        self._trace.instant("l2tlb", "lookup", now, vpn=vpn, hit=False)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+#: Ordered latency components of one page walk; the layout order used
+#: by :meth:`TraceRecorder.lifecycle` and the Figure 7/18 breakdowns.
+WALK_COMPONENTS = ("queueing", "communication", "execution", "access")
+
+
+class NullTraceRecorder:
+    """No-op recorder: the disabled-mode null object."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def new_id(self) -> int:
+        return 0
+
+    def begin(self, track: str, name: str, ts: int, **args: Any) -> None:
+        pass
+
+    def end(self, track: str, ts: int) -> None:
+        pass
+
+    def complete(self, track: str, name: str, ts: int, dur: int, **args: Any) -> None:
+        pass
+
+    def instant(self, track: str, name: str, ts: int, **args: Any) -> None:
+        pass
+
+    def counter(self, track: str, name: str, ts: int, **values: float) -> None:
+        pass
+
+    def async_begin(self, name: str, aid: int, ts: int, **args: Any) -> None:
+        pass
+
+    def async_end(self, name: str, aid: int, ts: int, **args: Any) -> None:
+        pass
+
+    def lifecycle(
+        self, name: str, aid: int, end_ts: int, components: Mapping[str, int], **args: Any
+    ) -> None:
+        pass
+
+    def events(self) -> list[dict]:
+        return []
+
+
+#: Shared disabled-mode singleton.
+NULL_TRACE = NullTraceRecorder()
+
+
+class TraceRecorder:
+    """Buffers span/instant/counter events and exports Chrome trace JSON.
+
+    Tracks are named lanes (one Chrome "thread" each); span nesting is
+    enforced per track so ``begin``/``end`` pairs always close in LIFO
+    order.  Request lifecycles that hop between components use async
+    events (``async_begin``/``async_end``) keyed by a recorder-issued id
+    instead, since they cannot nest within a single lane.
+    """
+
+    enabled = True
+
+    def __init__(self, *, process_name: str = "repro") -> None:
+        self._events: list[dict] = []
+        self._pid = 1
+        self._tids: dict[str, int] = {}
+        self._stacks: dict[int, list[str]] = {}
+        self._next_id = 0
+        self._events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": self._pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": process_name},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def new_id(self) -> int:
+        """A fresh async-event id (used to follow one request around)."""
+        self._next_id += 1
+        return self._next_id
+
+    def _tid(self, track: str) -> int:
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[track] = tid
+            self._events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": self._pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def begin(self, track: str, name: str, ts: int, **args: Any) -> None:
+        """Open a span on ``track``; close it with :meth:`end`."""
+        tid = self._tid(track)
+        self._stacks.setdefault(tid, []).append(name)
+        event: dict = {"ph": "B", "name": name, "pid": self._pid, "tid": tid, "ts": ts}
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def end(self, track: str, ts: int) -> str:
+        """Close the innermost open span on ``track``; returns its name."""
+        tid = self._tid(track)
+        stack = self._stacks.get(tid)
+        if not stack:
+            raise ValueError(f"end() without begin() on track {track!r}")
+        name = stack.pop()
+        self._events.append(
+            {"ph": "E", "name": name, "pid": self._pid, "tid": tid, "ts": ts}
+        )
+        return name
+
+    def complete(self, track: str, name: str, ts: int, dur: int, **args: Any) -> None:
+        """A self-contained span (Chrome "X" phase): start + duration."""
+        if dur < 0:
+            raise ValueError(f"span {name!r} has negative duration {dur}")
+        event: dict = {
+            "ph": "X",
+            "name": name,
+            "pid": self._pid,
+            "tid": self._tid(track),
+            "ts": ts,
+            "dur": dur,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(self, track: str, name: str, ts: int, **args: Any) -> None:
+        """A point event ("i" phase, thread scope)."""
+        event: dict = {
+            "ph": "i",
+            "name": name,
+            "pid": self._pid,
+            "tid": self._tid(track),
+            "ts": ts,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, track: str, name: str, ts: int, **values: float) -> None:
+        """A counter sample ("C" phase): plotted as stacked series."""
+        self._events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "pid": self._pid,
+                "tid": self._tid(track),
+                "ts": ts,
+                "args": dict(values),
+            }
+        )
+
+    def async_begin(self, name: str, aid: int, ts: int, **args: Any) -> None:
+        """Open one leg of an async (cross-track) span, keyed by ``aid``."""
+        event: dict = {
+            "ph": "b",
+            "cat": "request",
+            "id": aid,
+            "name": name,
+            "pid": self._pid,
+            "tid": self._tid("requests"),
+            "ts": ts,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def async_end(self, name: str, aid: int, ts: int, **args: Any) -> None:
+        event: dict = {
+            "ph": "e",
+            "cat": "request",
+            "id": aid,
+            "name": name,
+            "pid": self._pid,
+            "tid": self._tid("requests"),
+            "ts": ts,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def lifecycle(
+        self,
+        name: str,
+        aid: int,
+        end_ts: int,
+        components: Mapping[str, int],
+        **args: Any,
+    ) -> None:
+        """One finished request as an async span with nested component legs.
+
+        The request occupies ``[end_ts - total, end_ts]``; each non-zero
+        component becomes a nested async span laid out back-to-back in
+        :data:`WALK_COMPONENTS` order (then any extra components in
+        insertion order).  Summing the nested spans by name therefore
+        reconstructs the same latency breakdown the
+        :class:`~repro.sim.stats.LatencyTracker` aggregates report.
+        """
+        total = sum(components.values())
+        start = end_ts - total
+        self.async_begin(name, aid, start, **args)
+        cursor = start
+        ordered = [c for c in WALK_COMPONENTS if c in components]
+        ordered += [c for c in components if c not in WALK_COMPONENTS]
+        for component in ordered:
+            span = components[component]
+            if span <= 0:
+                continue
+            self.async_begin(f"{name}.{component}", aid, cursor)
+            cursor += span
+            self.async_end(f"{name}.{component}", aid, cursor)
+        self.async_end(name, aid, end_ts)
+
+    # ------------------------------------------------------------------
+    # Introspection / analysis
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    @property
+    def num_events(self) -> int:
+        return len(self._events)
+
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended (should be 0 before export)."""
+        return sum(len(stack) for stack in self._stacks.values())
+
+    def span_durations(self, prefix: str = "") -> dict[str, int]:
+        """Total duration per span name (X spans and async b/e pairs).
+
+        This is how a recorded trace is folded back into a Figure 7-style
+        latency breakdown: ``span_durations("walk.")`` sums the nested
+        component legs emitted by :meth:`lifecycle`.
+        """
+        totals: dict[str, int] = {}
+        open_async: dict[tuple, list[int]] = {}
+        open_sync: dict[int, list[tuple[str, int]]] = {}
+        for event in self._events:
+            name = event.get("name", "")
+            ph = event["ph"]
+            if ph == "X" and name.startswith(prefix):
+                totals[name] = totals.get(name, 0) + event["dur"]
+            elif ph == "b":
+                open_async.setdefault((event["id"], name), []).append(event["ts"])
+            elif ph == "e":
+                starts = open_async.get((event["id"], name))
+                if starts and name.startswith(prefix):
+                    totals[name] = totals.get(name, 0) + event["ts"] - starts.pop()
+            elif ph == "B":
+                open_sync.setdefault(event["tid"], []).append((name, event["ts"]))
+            elif ph == "E":
+                stack = open_sync.get(event["tid"])
+                if stack:
+                    opened_name, start = stack.pop()
+                    if opened_name.startswith(prefix):
+                        totals[opened_name] = (
+                            totals.get(opened_name, 0) + event["ts"] - start
+                        )
+        return totals
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        """The exportable Chrome trace-event document."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "gpu-cycles", "producer": "repro.obs"},
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write Chrome trace JSON; open in chrome://tracing or Perfetto."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.chrome_trace()))
+        return target
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write one event per line (easy to stream/grep/post-process)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event) + "\n")
+        return target
+
+
+def read_jsonl(path: str | Path) -> Iterable[dict]:
+    """Load events back from a JSONL stream written by ``write_jsonl``."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

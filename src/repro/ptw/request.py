@@ -34,6 +34,8 @@ class WalkRequest:
     #: True when the walk hit an invalid PTE (page fault).
     faulted: bool = False
     fault_level: int = 0
+    #: Async-span id following this walk through the trace (0 = untraced).
+    trace_id: int = 0
 
     @property
     def total_latency(self) -> int:

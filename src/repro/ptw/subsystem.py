@@ -52,6 +52,7 @@ class HardwareWalkBackend:
         self.pte_port = pte_port
         self.pwc = pwc
         self.stats = stats
+        self._trace = stats.obs.trace
         self._traverse = traversal or self._radix_traverse
         self.on_complete: CompletionCallback | None = None
         self._queue: deque[WalkRequest] = deque()
@@ -73,6 +74,22 @@ class HardwareWalkBackend:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def busy_walkers(self) -> int:
+        return self.config.num_walkers - self._free_walkers
+
+    def utilisation(self) -> float:
+        """Instantaneous fraction of walkers busy (a sampler gauge)."""
+        if self.config.num_walkers == 0:
+            return 0.0
+        return self.busy_walkers / self.config.num_walkers
+
+    def register_metrics(self, metrics) -> None:
+        """Expose PWB and walker-pool state as sampled gauges."""
+        metrics.register_gauge("ptw.queue_depth", lambda: len(self._queue))
+        metrics.register_gauge("ptw.busy_walkers", lambda: self.busy_walkers)
+        metrics.register_gauge("ptw.utilisation", self.utilisation)
+
     def submit(self, request: WalkRequest) -> None:
         """Accept a walk request (enqueue time already stamped)."""
         self.stats.counters.add("ptw.submitted")
@@ -85,7 +102,15 @@ class HardwareWalkBackend:
             # The PWB proper is full; requests overflow into MSHR-held
             # backpressure.  The wait is still queueing delay either way.
             self.stats.counters.add("ptw.pwb_overflow")
+            if self._trace.enabled:
+                self._trace.instant(
+                    "pwb", "pwb.overflow", self.engine.now, vpn=request.vpn
+                )
         self._queue.append(request)
+        if self._trace.enabled:
+            self._trace.counter(
+                "pwb", "pwb.depth", self.engine.now, depth=len(self._queue)
+            )
         if self.config.nha_coalescing:
             self._nha_pending.setdefault(self._nha_key(request.vpn), request)
 
@@ -101,6 +126,14 @@ class HardwareWalkBackend:
             return False
         host.merged_vpns.append(request.vpn)
         self.stats.counters.add("ptw.nha_merged")
+        if self._trace.enabled:
+            self._trace.instant(
+                "pwb",
+                "pwb.nha_merge",
+                self.engine.now,
+                vpn=request.vpn,
+                host_vpn=host.vpn,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -135,6 +168,16 @@ class HardwareWalkBackend:
         request.fault_level = outcome.fault_level
         self.stats.counters.add("ptw.walks")
         self.stats.histogram("ptw.levels").record(outcome.levels_accessed)
+        if self._trace.enabled:
+            self._trace.instant(
+                "pwb",
+                "ptw.walk_start",
+                begin,
+                id=request.trace_id,
+                vpn=request.vpn,
+                queued=request.queueing,
+                levels=outcome.levels_accessed,
+            )
         self.engine.schedule_at(outcome.finish_time, self._finish, request, outcome)
 
     def _radix_traverse(self, vpn: int, start_level: int, begin: int) -> WalkOutcome:

@@ -8,11 +8,23 @@ simulations are fully deterministic and reproducible.
 The engine is intentionally minimal: a binary heap of events plus a clock.
 All higher-level timing behaviour (queueing, pipelining, bandwidth) is
 expressed by the components themselves.
+
+Two observability affordances live here because only the event loop can
+provide them:
+
+* **Daemon events** (``schedule_daemon``) — housekeeping callbacks such
+  as the metrics sampler.  They fire interleaved with real work but are
+  dropped once only daemons remain, so instrumentation can never extend
+  a simulation's final cycle count.
+* **Callback profiling** (``enable_profiling``) — accumulates wall-clock
+  time per callback site, turning the engine into its own profiler for
+  finding simulator hot spots.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable
 
 
@@ -29,9 +41,17 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._queue: list[
+            tuple[int, int, Callable[..., None], tuple[Any, ...], bool]
+        ] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._daemons_pending: int = 0
+        #: True when the last ``run`` stopped at ``max_events`` with real
+        #: work still queued (the safety valve fired).
+        self.truncated: bool = False
+        #: qualname -> [calls, wall seconds]; None when profiling is off.
+        self._profile: dict[str, list] | None = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -48,8 +68,27 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at cycle {when}, current cycle is {self.now}"
             )
-        heapq.heappush(self._queue, (when, self._seq, callback, args))
+        heapq.heappush(self._queue, (when, self._seq, callback, args, False))
         self._seq += 1
+
+    def schedule_daemon(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule a housekeeping callback ``delay`` cycles from now.
+
+        Daemon events fire like ordinary events while real work remains,
+        but ``run`` discards them once they are all that is left — the
+        clock never advances for a daemon alone.  Daemon callbacks must
+        only observe state (schedule more daemons at most), never drive
+        the simulation.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        heapq.heappush(
+            self._queue, (self.now + int(delay), self._seq, callback, args, True)
+        )
+        self._seq += 1
+        self._daemons_pending += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -60,23 +99,48 @@ class Engine:
         Args:
             until: stop once the clock would pass this cycle (events at
                 exactly ``until`` still execute).
-            max_events: safety valve against runaway simulations.
+            max_events: safety valve against runaway simulations.  When
+                it fires with real work still queued, ``truncated`` is
+                set so callers can distinguish "finished" from "gave up".
 
         Returns:
             The final simulation time.
         """
+        self.truncated = False
         processed = 0
+        profile = self._profile
         while self._queue:
-            when, _seq, callback, args = self._queue[0]
+            if self._daemons_pending == len(self._queue):
+                # Only housekeeping left: drop it without moving the clock.
+                self._queue.clear()
+                self._daemons_pending = 0
+                break
+            when, _seq, callback, args, daemon = self._queue[0]
             if until is not None and when > until:
                 self.now = until
                 break
             heapq.heappop(self._queue)
+            if daemon:
+                self._daemons_pending -= 1
             self.now = when
-            callback(*args)
+            if profile is not None:
+                started = time.perf_counter()
+                callback(*args)
+                cell = profile.get(getattr(callback, "__qualname__", repr(callback)))
+                if cell is None:
+                    profile[getattr(callback, "__qualname__", repr(callback))] = [
+                        1,
+                        time.perf_counter() - started,
+                    ]
+                else:
+                    cell[0] += 1
+                    cell[1] += time.perf_counter() - started
+            else:
+                callback(*args)
             processed += 1
             self._events_processed += 1
             if max_events is not None and processed >= max_events:
+                self.truncated = self.real_pending > 0
                 break
         return self.now
 
@@ -84,19 +148,53 @@ class Engine:
         """Execute a single event.  Returns False when the queue is empty."""
         if not self._queue:
             return False
-        when, _seq, callback, args = heapq.heappop(self._queue)
+        when, _seq, callback, args, daemon = heapq.heappop(self._queue)
+        if daemon:
+            self._daemons_pending -= 1
         self.now = when
         callback(*args)
         self._events_processed += 1
         return True
 
     # ------------------------------------------------------------------
+    # Self-profiling
+    # ------------------------------------------------------------------
+    def enable_profiling(self) -> None:
+        """Start accumulating wall-clock time per callback site."""
+        if self._profile is None:
+            self._profile = {}
+
+    @property
+    def profiling(self) -> bool:
+        return self._profile is not None
+
+    def profile_report(self, top: int | None = None) -> list[tuple[str, int, float]]:
+        """(callback qualname, calls, wall seconds), hottest first."""
+        if self._profile is None:
+            return []
+        rows = [
+            (name, cell[0], cell[1]) for name, cell in self._profile.items()
+        ]
+        rows.sort(key=lambda row: row[2], reverse=True)
+        return rows[:top] if top is not None else rows
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of events waiting in the queue."""
+        """Number of events waiting in the queue (daemons included)."""
         return len(self._queue)
+
+    @property
+    def real_pending(self) -> int:
+        """Pending events that represent actual simulated work."""
+        return len(self._queue) - self._daemons_pending
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no real work remains (the run drained naturally)."""
+        return self.real_pending == 0
 
     @property
     def events_processed(self) -> int:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 class Counter:
@@ -99,6 +100,33 @@ class Histogram:
                 return value
         return self.maximum
 
+    def percentiles(self, fractions: Iterable[float]) -> dict[float, int]:
+        """Values at several cumulative fractions in one bucket pass."""
+        ordered = sorted(fractions)
+        if not ordered:
+            return {}
+        if ordered[0] <= 0.0 or ordered[-1] > 1.0:
+            raise ValueError("fractions must be in (0, 1]")
+        out: dict[float, int] = {}
+        if self._count == 0:
+            return {fraction: 0 for fraction in ordered}
+        running = 0
+        cursor = 0
+        for value in sorted(self._buckets):
+            running += self._buckets[value]
+            while cursor < len(ordered) and running >= ordered[cursor] * self._count:
+                out[ordered[cursor]] = value
+                cursor += 1
+            if cursor == len(ordered):
+                break
+        for fraction in ordered[cursor:]:
+            out[fraction] = self.maximum
+        return out
+
+    @property
+    def median(self) -> int:
+        return self.percentile(0.5)
+
     def as_dict(self) -> dict[int, int]:
         return dict(self._buckets)
 
@@ -164,6 +192,28 @@ class LatencyTracker:
             return 0.0
         return self._component_totals.get(name, 0) / self._total
 
+    def component_shares(self) -> dict[str, float]:
+        """Every component's fraction of the grand total (sums to 1.0).
+
+        The Figure 7/18 stacked-bar breakdown in one call — reports and
+        trace exporters should use this instead of recomputing ratios.
+        """
+        if self._total == 0:
+            return {name: 0.0 for name in self._component_totals}
+        return {
+            name: value / self._total
+            for name, value in self._component_totals.items()
+        }
+
+    def mean_components(self) -> dict[str, float]:
+        """Per-request mean of every component (cycles)."""
+        if self._count == 0:
+            return {name: 0.0 for name in self._component_totals}
+        return {
+            name: value / self._count
+            for name, value in self._component_totals.items()
+        }
+
     def components(self) -> dict[str, int]:
         return dict(self._component_totals)
 
@@ -174,9 +224,20 @@ class StatsRegistry:
     Keeps one shared :class:`Counter` plus named histograms and latency
     trackers, so experiment harnesses can pull every statistic from a
     single object after a run.
+
+    The registry also carries the run's observability bundle
+    (:class:`~repro.obs.Observability`): since every component already
+    receives ``stats``, the trace recorder and metrics registry ride
+    along without widening any constructor.  The default bundle is all
+    null objects, so untraced runs pay one branch per hook site.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
+        if obs is None:
+            from repro.obs import NULL_OBS
+
+            obs = NULL_OBS
+        self.obs = obs
         self.counters = Counter()
         self._histograms: dict[str, Histogram] = {}
         self._latencies: dict[str, LatencyTracker] = {}

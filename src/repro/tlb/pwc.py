@@ -101,3 +101,8 @@ class PageWalkCache:
     @property
     def occupancy(self) -> int:
         return len(self._entries)
+
+    def register_metrics(self, metrics) -> None:
+        """Expose PWC effectiveness as sampled gauges."""
+        metrics.register_gauge(f"{self.name}.hit_rate", self.hit_rate)
+        metrics.register_gauge(f"{self.name}.occupancy", lambda: self.occupancy)

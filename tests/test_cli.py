@@ -55,3 +55,72 @@ class TestCommands:
     def test_figure_with_save(self, tmp_path, capsys):
         assert main(["figure", "sec5.2", "--save", str(tmp_path)]) == 0
         assert (tmp_path / "sec52_hw_overhead.txt").exists()
+
+
+class TestObservabilityCommands:
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "gups"])
+        assert args.command == "trace"
+        assert args.out == "trace.json"
+        assert args.jsonl is None
+        assert args.scale == 0.1
+
+    def test_metrics_parser_defaults(self):
+        args = build_parser().parse_args(["metrics", "gups"])
+        assert args.out == "metrics.json"
+        assert args.interval == 1000
+
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "gups",
+                    "--scale",
+                    "0.02",
+                    "--out",
+                    str(out),
+                    "--jsonl",
+                    str(jsonl),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "walk component" in printed
+        assert "queueing" in printed
+        validate_chrome_trace(json.loads(out.read_text()))
+        assert jsonl.read_text().strip()
+
+    def test_metrics_writes_series_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "metrics",
+                    "gups",
+                    "--config",
+                    "softwalker",
+                    "--scale",
+                    "0.02",
+                    "--out",
+                    str(out),
+                    "--interval",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "distributor.in_flight" in printed
+        loaded = json.loads(out.read_text())
+        assert loaded["samples_taken"] > 0
+        assert "l2tlb.hit_rate" in loaded["series"]

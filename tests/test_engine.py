@@ -106,3 +106,85 @@ def test_peek_time():
     assert engine.peek_time() is None
     engine.schedule(42, lambda: None)
     assert engine.peek_time() == 42
+
+
+def test_max_events_sets_truncated_flag():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    engine.run(max_events=100)
+    assert engine.truncated
+    assert engine.real_pending > 0
+    assert not engine.exhausted
+
+
+def test_natural_drain_clears_truncated_flag():
+    engine = Engine()
+    engine.schedule(5, lambda: None)
+    engine.run(max_events=100)
+    assert not engine.truncated
+    assert engine.exhausted
+    assert engine.real_pending == 0
+
+
+def test_daemon_events_fire_alongside_real_work():
+    engine = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        engine.schedule_daemon(10, tick)
+
+    engine.schedule_daemon(0, tick)
+    engine.schedule(25, lambda: None)
+    engine.run()
+    assert ticks == [0, 10, 20]
+    assert engine.now == 25
+
+
+def test_daemons_alone_never_advance_the_clock():
+    engine = Engine()
+    fired = []
+    engine.schedule_daemon(50, fired.append, "late daemon")
+    engine.run()
+    assert fired == []
+    assert engine.now == 0
+    assert engine.pending_events == 0
+
+
+def test_daemons_do_not_count_as_real_pending():
+    engine = Engine()
+    engine.schedule_daemon(10, lambda: None)
+    engine.schedule(5, lambda: None)
+    assert engine.pending_events == 2
+    assert engine.real_pending == 1
+
+
+def test_profiling_accumulates_per_callback_site():
+    engine = Engine()
+    engine.enable_profiling()
+    assert engine.profiling
+
+    def work():
+        pass
+
+    for delay in range(5):
+        engine.schedule(delay, work)
+    engine.run()
+    report = engine.profile_report()
+    assert len(report) == 1
+    name, calls, seconds = report[0]
+    assert "work" in name
+    assert calls == 5
+    assert seconds >= 0.0
+
+
+def test_profiling_off_returns_empty_report():
+    engine = Engine()
+    engine.schedule(0, lambda: None)
+    engine.run()
+    assert not engine.profiling
+    assert engine.profile_report() == []

@@ -119,3 +119,75 @@ class TestExperimentsSmoke:
         assert "Avatar speculation" in techniques
         by_technique = dict(table.rows)
         assert by_technique["SoftWalker"] == max(by_technique.values())
+
+
+class TestRunnerCache:
+    def test_cache_info_counts_hits_misses(self):
+        from repro.harness import runner
+
+        clear_cache()
+        before = runner.cache_info()
+        run_cached(baseline_config(), "gups", scale=TINY)
+        run_cached(baseline_config(), "gups", scale=TINY)
+        after = runner.cache_info()
+        assert after["misses"] - before["misses"] == 1
+        assert after["hits"] - before["hits"] == 1
+        assert after["entries"] == 1
+
+    def test_cache_evicts_least_recent_beyond_capacity(self, monkeypatch):
+        from repro.harness import runner
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_CACHE_ENTRIES", "2")
+        before = runner.cache_info()["evictions"]
+        run_cached(baseline_config(), "gups", scale=TINY)
+        run_cached(softwalker_config(), "gups", scale=TINY)
+        run_cached(baseline_config(), "gemm", scale=TINY)  # evicts first entry
+        info = runner.cache_info()
+        assert info["entries"] == 2
+        assert info["evictions"] - before == 1
+        # The first run was evicted, so repeating it misses again.
+        misses = info["misses"]
+        run_cached(baseline_config(), "gups", scale=TINY)
+        assert runner.cache_info()["misses"] == misses + 1
+        clear_cache()
+
+    def test_cache_capacity_env_must_be_positive(self, monkeypatch):
+        from repro.harness import runner
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_CACHE_ENTRIES", "0")
+        with pytest.raises(ValueError):
+            run_cached(baseline_config(), "gups", scale=TINY)
+
+    def test_clear_cache_empties_entries(self):
+        from repro.harness import runner
+
+        run_cached(baseline_config(), "gups", scale=TINY)
+        clear_cache()
+        assert runner.cache_info()["entries"] == 0
+
+
+class TestEnvTraceExport:
+    def test_repro_trace_env_writes_trace_and_metrics(self, monkeypatch, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        run_workload(baseline_config(), "gups", scale=TINY)
+        trace_path = tmp_path / "gups-0.trace.json"
+        metrics_path = tmp_path / "gups-0.metrics.json"
+        assert trace_path.exists() and metrics_path.exists()
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        loaded = json.loads(metrics_path.read_text())
+        assert loaded["samples_taken"] > 0
+
+    def test_explicit_obs_wins_over_env(self, monkeypatch, tmp_path):
+        from repro.obs import Observability
+
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        obs = Observability.tracing()
+        run_workload(baseline_config(), "gups", scale=TINY, obs=obs)
+        assert obs.trace.num_events > 0
+        assert list(tmp_path.iterdir()) == []  # no files: caller owns export

@@ -95,3 +95,78 @@ class TestStatsRegistry:
         s.histogram("b")
         assert s.histogram_names() == ["a", "b"]
         assert s.latency_names() == ["w"]
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_single_pass_matches_percentile(self):
+        h = Histogram()
+        for value in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]:
+            h.record(value)
+        fractions = [0.1, 0.5, 0.9, 1.0]
+        batch = h.percentiles(fractions)
+        assert batch == {f: h.percentile(f) for f in fractions}
+
+    def test_percentiles_accepts_unsorted_input(self):
+        h = Histogram()
+        h.record(1, weight=99)
+        h.record(1000)
+        assert h.percentiles([0.99, 0.5]) == {0.5: 1, 0.99: 1}
+
+    def test_percentiles_rejects_out_of_range(self):
+        h = Histogram()
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentiles([0.0, 0.5])
+        with pytest.raises(ValueError):
+            h.percentiles([0.5, 1.5])
+
+    def test_percentiles_empty_inputs(self):
+        h = Histogram()
+        assert h.percentiles([]) == {}
+        assert h.percentiles([0.5, 0.99]) == {0.5: 0, 0.99: 0}
+
+    def test_median(self):
+        h = Histogram()
+        for value in [1, 2, 3, 4, 100]:
+            h.record(value)
+        assert h.median == 3
+
+
+class TestLatencyTrackerShares:
+    def test_component_shares_sum_to_one(self):
+        tracker = LatencyTracker()
+        tracker.record(queueing=70, access=20, communication=10)
+        tracker.record(queueing=30, access=60, communication=10)
+        shares = tracker.component_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["queueing"] == pytest.approx(0.5)
+        assert shares["access"] == pytest.approx(0.4)
+
+    def test_mean_components(self):
+        tracker = LatencyTracker()
+        tracker.record(queueing=100, access=50)
+        tracker.record(queueing=200, access=150)
+        means = tracker.mean_components()
+        assert means == {"queueing": 150.0, "access": 100.0}
+
+    def test_empty_tracker_shares(self):
+        tracker = LatencyTracker()
+        assert tracker.component_shares() == {}
+        assert tracker.mean_components() == {}
+
+
+class TestStatsObservability:
+    def test_registry_defaults_to_null_obs(self):
+        from repro.obs import NULL_OBS
+
+        registry = StatsRegistry()
+        assert registry.obs is NULL_OBS
+        assert not registry.obs.trace.enabled
+
+    def test_registry_carries_supplied_bundle(self):
+        from repro.obs import Observability
+
+        obs = Observability.tracing()
+        registry = StatsRegistry(obs)
+        assert registry.obs is obs
+        assert registry.obs.trace.enabled

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Observability smoke check (the CI gate for the tracing layer).
+
+Runs a tiny traced simulation and enforces three invariants:
+
+1. The exported Chrome trace validates against the trace-event schema
+   and every span is closed.
+2. A traced run produces the identical ``SimulationResult`` to an
+   untraced one (instrumentation must never perturb the model).
+3. Disabled-mode overhead stays under budget: the per-event cost of the
+   null-object hook sites, measured by microbenchmark and multiplied by
+   a conservative hooks-per-event estimate, must stay below 5% of the
+   untraced per-event simulation cost.
+
+Usage:
+    REPRO_SCALE=0.05 python tools/obs_smoke.py [--scale S] [--budget PCT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+import timeit
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import softwalker_config  # noqa: E402
+from repro.gpu.gpu import GPUSimulator  # noqa: E402
+from repro.harness.runner import build_workload  # noqa: E402
+from repro.obs import NULL_TRACE, Observability, validate_chrome_trace  # noqa: E402
+
+#: Generous upper bound on guarded hook sites evaluated per engine event.
+HOOKS_PER_EVENT = 16
+
+
+def check_trace_and_determinism(scale: float) -> tuple[int, float]:
+    """Invariants 1 + 2; returns (events processed, untraced wall seconds)."""
+    config = softwalker_config()
+    workload = build_workload("gups", config, scale=scale)
+
+    started = time.perf_counter()
+    plain_sim = GPUSimulator(config, workload)
+    plain = plain_sim.run()
+    untraced_seconds = time.perf_counter() - started
+
+    obs = Observability.full(interval=1000)
+    traced = GPUSimulator(config, workload, obs=obs).run()
+
+    if (traced.cycles, traced.instructions) != (plain.cycles, plain.instructions):
+        raise SystemExit(
+            f"FAIL: traced run diverged — {traced.cycles} vs {plain.cycles} cycles"
+        )
+    if traced.stats.counters.as_dict() != plain.stats.counters.as_dict():
+        raise SystemExit("FAIL: traced run produced different counters")
+    print(f"ok: traced == untraced ({plain.cycles:,} cycles)")
+
+    if obs.trace.open_spans():
+        raise SystemExit(f"FAIL: {obs.trace.open_spans()} spans left open")
+    count = validate_chrome_trace(obs.trace.chrome_trace())
+    print(f"ok: trace schema valid ({count:,} events)")
+
+    return plain_sim.engine.events_processed, untraced_seconds
+
+
+def check_disabled_overhead(
+    events_processed: int, untraced_seconds: float, budget_pct: float
+) -> None:
+    """Invariant 3: the null hook must be cheap enough to leave on."""
+    trace = NULL_TRACE
+    loops = 1_000_000
+
+    def hook() -> None:
+        if trace.enabled:
+            trace.instant("t", "x", 0)
+
+    per_hook = min(timeit.repeat(hook, number=loops, repeat=5)) / loops
+    per_event_budget = untraced_seconds / max(1, events_processed)
+    overhead = per_hook * HOOKS_PER_EVENT / per_event_budget * 100
+    print(
+        f"ok: null hook {per_hook * 1e9:.1f}ns x {HOOKS_PER_EVENT}/event "
+        f"= {overhead:.2f}% of {per_event_budget * 1e6:.2f}us/event"
+    )
+    if overhead > budget_pct:
+        raise SystemExit(
+            f"FAIL: disabled-mode overhead {overhead:.2f}% exceeds "
+            f"{budget_pct}% budget"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--budget", type=float, default=5.0, help="overhead %% budget")
+    args = parser.parse_args()
+
+    events, seconds = check_trace_and_determinism(args.scale)
+    check_disabled_overhead(events, seconds, args.budget)
+    print("observability smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
