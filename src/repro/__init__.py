@@ -25,12 +25,28 @@ from repro.config import (
 )
 from repro.gpu.gpu import GPUSimulator, SimulationResult, SimulationTruncated
 from repro.harness.runner import build_workload, run_matrix, run_workload, speedups
+from repro.harness.supervised import (
+    SupervisedReport,
+    SupervisionPolicy,
+    WatchdogTimeout,
+    run_supervised,
+)
 from repro.obs import (
     MetricsRegistry,
     MetricsSampler,
     Observability,
     TraceRecorder,
     validate_chrome_trace,
+)
+from repro.resilience import (
+    Checkpoint,
+    CheckpointError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InvariantChecker,
+    InvariantViolation,
+    default_chaos_plan,
 )
 from repro.workloads.base import TraceWorkload, WorkloadSpec
 from repro.workloads.catalog import (
@@ -66,6 +82,18 @@ __all__ = [
     "run_matrix",
     "run_workload",
     "speedups",
+    "SupervisedReport",
+    "SupervisionPolicy",
+    "WatchdogTimeout",
+    "run_supervised",
+    "Checkpoint",
+    "CheckpointError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantViolation",
+    "default_chaos_plan",
     "TraceWorkload",
     "WorkloadSpec",
     "ALL_ABBRS",

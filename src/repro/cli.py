@@ -8,6 +8,8 @@ Commands:
 * ``figure`` — regenerate one of the paper's figures/tables by name.
 * ``trace`` — record a run's request lifecycle as Chrome trace JSON.
 * ``metrics`` — sample time-series gauges during a run, export JSON.
+* ``chaos`` — run under a seeded fault plan with invariant auditing.
+* ``checkpoint`` — prove checkpoint/resume is bit-identical on a run.
 """
 
 from __future__ import annotations
@@ -130,6 +132,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics_parser.add_argument(
         "--interval", type=int, default=1000, help="sample interval in cycles"
+    )
+
+    chaos_parser = sub.add_parser(
+        "chaos", help="run under a seeded fault plan with invariant audits"
+    )
+    chaos_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    chaos_parser.add_argument(
+        "--config", choices=sorted(CONFIGS), default="baseline"
+    )
+    chaos_parser.add_argument("--scale", type=float, default=0.1)
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan RNG seed"
+    )
+    chaos_parser.add_argument(
+        "--plan", metavar="PATH", help="JSON fault plan (default: one of each kind)"
+    )
+    chaos_parser.add_argument(
+        "--audit-every", type=int, default=2000, help="events between audits"
+    )
+
+    ckpt_parser = sub.add_parser(
+        "checkpoint", help="capture/restore a mid-run snapshot, verify bit-identity"
+    )
+    ckpt_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    ckpt_parser.add_argument(
+        "--config", choices=sorted(CONFIGS), default="baseline"
+    )
+    ckpt_parser.add_argument("--scale", type=float, default=0.1)
+    ckpt_parser.add_argument(
+        "--events", type=int, default=5000, help="events to run before capturing"
+    )
+    ckpt_parser.add_argument(
+        "--out", metavar="PATH", help="also persist the snapshot here"
     )
     return parser
 
@@ -279,6 +314,108 @@ def cmd_metrics(
     return 0
 
 
+def cmd_chaos(
+    benchmark: str,
+    config_name: str,
+    scale: float,
+    seed: int,
+    plan_path: str | None,
+    audit_every: int,
+) -> int:
+    from repro.gpu.gpu import GPUSimulator
+    from repro.harness import SupervisionPolicy, run_supervised
+    from repro.harness.runner import build_workload
+    from repro.resilience import FaultPlan, InvariantViolation, default_chaos_plan
+
+    if audit_every < 1:
+        print("error: --audit-every must be >= 1 event", file=sys.stderr)
+        return 2
+    config = CONFIGS[config_name]()
+    if plan_path:
+        with open(plan_path, encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    else:
+        plan = default_chaos_plan(seed=seed)
+
+    def make_sim() -> GPUSimulator:
+        return GPUSimulator(config, build_workload(benchmark, config, scale=scale))
+
+    try:
+        report = run_supervised(
+            make_sim,
+            policy=SupervisionPolicy(audit_every=audit_every),
+            plan=plan,
+        )
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION\n{violation}", file=sys.stderr)
+        return 1
+    result = report.result
+    counters = result.stats.counters.as_dict()
+    rows = [
+        ["cycles", result.cycles],
+        ["replay seed", result.seed],
+        ["complete", result.complete],
+        ["faults injected", report.faults_injected],
+        ["invariant audits", report.audits],
+        ["invariant violations", 0],
+        ["far faults recorded", counters.get("faults.recorded", 0)],
+        ["delayed completions", counters.get("chaos.delayed_completions", 0)],
+        ["MSHR failures", result.mshr_failures],
+    ]
+    rows.extend(
+        [f"  {name.removeprefix('chaos.injected.')}", count]
+        for name, count in sorted(counters.items())
+        if name.startswith("chaos.injected.")
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"chaos run: {benchmark} under {config_name}, plan seed {plan.seed}",
+        )
+    )
+    return 0
+
+
+def cmd_checkpoint(
+    benchmark: str, config_name: str, scale: float, events: int, out: str | None
+) -> int:
+    from repro.gpu.gpu import GPUSimulator
+    from repro.harness.runner import build_workload
+    from repro.resilience import Checkpoint
+
+    if events < 1:
+        print("error: --events must be >= 1", file=sys.stderr)
+        return 2
+    config = CONFIGS[config_name]()
+    sim = GPUSimulator(config, build_workload(benchmark, config, scale=scale))
+    sim.advance(max_events=events)
+    snapshot = Checkpoint.capture(sim)
+    if out:
+        snapshot.save(out)
+        snapshot = Checkpoint.load(out)
+    original = sim.run()
+    resumed = snapshot.restore().run()
+    identical = original.fingerprint() == resumed.fingerprint()
+    rows = [
+        ["captured at cycle", snapshot.cycle],
+        ["captured after events", snapshot.events_processed],
+        ["original final cycles", original.cycles],
+        ["resumed final cycles", resumed.cycles],
+        ["bit-identical resume", "yes" if identical else "NO"],
+    ]
+    if out:
+        rows.append(["snapshot written to", out])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"checkpoint round-trip: {benchmark} under {config_name}",
+        )
+    )
+    return 0 if identical else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -294,6 +431,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "metrics":
         return cmd_metrics(
             args.benchmark, args.config, args.scale, args.out, args.interval
+        )
+    if args.command == "chaos":
+        return cmd_chaos(
+            args.benchmark,
+            args.config,
+            args.scale,
+            args.seed,
+            args.plan,
+            args.audit_every,
+        )
+    if args.command == "checkpoint":
+        return cmd_checkpoint(
+            args.benchmark, args.config, args.scale, args.events, args.out
         )
     raise AssertionError(f"unhandled command {args.command}")
 

@@ -43,6 +43,8 @@ class SoftWalkerBackend:
     ) -> None:
         sw = config.softwalker
         self.stats = stats
+        self.engine = engine
+        self._sms = sms
         self.on_complete: CompletionCallback | None = None
         # One-way hop each direction; the round trip equals the L2 TLB
         # access latency (Section 6.1 methodology).
@@ -65,12 +67,20 @@ class SoftWalkerBackend:
             capacity_per_sm=sw.softpwb_entries,
             stats=stats,
             policy=sw.distributor_policy,
-            idleness=lambda sm_id: sms[sm_id].port_busy_until(),
-            clock=lambda: engine.now,
+            # Bound methods, not lambdas: the distributor is part of the
+            # checkpointed state graph and must deepcopy/pickle cleanly.
+            idleness=self._sm_idleness,
+            clock=self._clock_now,
         )
         self.distributor.dispatch = self._dispatch
         for controller in self.controllers:
             controller.on_complete = self._controller_complete
+
+    def _sm_idleness(self, sm_id: int) -> int:
+        return self._sms[sm_id].port_busy_until()
+
+    def _clock_now(self) -> int:
+        return self.engine.now
 
     def submit(self, request: WalkRequest) -> None:
         self.stats.counters.add("softwalker.submitted")
@@ -91,6 +101,13 @@ class SoftWalkerBackend:
     @property
     def in_flight(self) -> int:
         return self.distributor.in_flight
+
+    def live_requests(self) -> list[WalkRequest]:
+        """Every request the software backend owns (audit support)."""
+        live = self.distributor.overflow_requests()
+        for controller in self.controllers:
+            live.extend(controller.live_requests())
+        return live
 
     def register_metrics(self, metrics) -> None:
         """Expose distributor backlog and PW-warp occupancy as gauges."""
@@ -130,6 +147,9 @@ class HybridBackend:
             self.hardware.submit(request)
         else:
             self.software.submit(request)
+
+    def live_requests(self) -> list[WalkRequest]:
+        return [*self.hardware.live_requests(), *self.software.live_requests()]
 
     def register_metrics(self, metrics) -> None:
         self.hardware.register_metrics(metrics)

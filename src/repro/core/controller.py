@@ -56,6 +56,9 @@ class SoftWalkerController:
         self.softpwb = SoftPWB(config.softpwb_entries)
         self._trace = stats.obs.trace
         self._active_walks = 0
+        #: Requests dispatched by the distributor but still travelling
+        #: over the interconnect (audit support: they are owned here).
+        self._in_transit: list[WalkRequest] = []
         #: Wired by the backend: invoked at FL2T time with the result.
         self.on_complete: CompletionCallback | None = None
 
@@ -69,9 +72,11 @@ class SoftWalkerController:
         communication hop after its L2 TLB miss resolved to a walk.
         """
         arrival = max(self.engine.now, request.enqueue_time) + self.communication_latency
+        self._in_transit.append(request)
         self.engine.schedule_at(arrival, self._arrive, request)
 
     def _arrive(self, request: WalkRequest) -> None:
+        self._in_transit.remove(request)
         request.communication += self.communication_latency
         index = self.softpwb.insert(request)
         if index is None:
@@ -260,3 +265,7 @@ class SoftWalkerController:
     @property
     def active_walks(self) -> int:
         return self._active_walks
+
+    def live_requests(self) -> list[WalkRequest]:
+        """Requests this controller owns: in transit + SoftPWB slots."""
+        return [*self._in_transit, *self.softpwb.requests()]

@@ -144,6 +144,10 @@ class RequestDistributor:
     def overflow_depth(self) -> int:
         return len(self._overflow)
 
+    def overflow_requests(self) -> list[WalkRequest]:
+        """Requests parked in the global overflow queue (audit support)."""
+        return list(self._overflow)
+
     @property
     def in_flight(self) -> int:
         return sum(self._counters)

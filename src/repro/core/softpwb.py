@@ -80,6 +80,10 @@ class SoftPWB:
     def has_space(self) -> bool:
         return self.count(SlotState.INVALID) > 0
 
+    def requests(self) -> list[WalkRequest]:
+        """Every buffered request (valid or processing), slot order."""
+        return [request for request in self._slots if request is not None]
+
     def bitmap_bits(self) -> int:
         """Storage the status bitmap costs (2 bits per slot, Section 5.2)."""
         return 2 * self.capacity

@@ -37,6 +37,7 @@ class FaultBuffer:
     def __init__(self, stats: StatsRegistry) -> None:
         self.stats = stats
         self._records: list[FaultRecord] = []
+        self._drained = 0
 
     def record(self, vpn: int, level: int, time: int) -> FaultRecord:
         record = FaultRecord(vpn=vpn, level=level, time=time)
@@ -45,8 +46,33 @@ class FaultBuffer:
         return record
 
     @property
-    def records(self) -> list[FaultRecord]:
-        return list(self._records)
+    def records(self) -> tuple[FaultRecord, ...]:
+        """Undrained records as an immutable view.
+
+        Hot-path callers (metrics gauges, invariant audits) poll this
+        every few thousand cycles; records are frozen dataclasses, so a
+        tuple of the live list is safe to hand out and the buffer is
+        never copied entry-by-entry into a fresh mutable list.
+        """
+        return tuple(self._records)
+
+    def drain(self) -> list[FaultRecord]:
+        """Hand the accumulated records to the driver and clear them.
+
+        Models the host consuming the fault buffer: the returned batch
+        belongs to the caller, and subsequent :attr:`records` reads only
+        see faults logged after the drain.  ``total_recorded`` still
+        counts drained entries.
+        """
+        batch = self._records
+        self._records = []
+        self._drained += len(batch)
+        return batch
+
+    @property
+    def total_recorded(self) -> int:
+        """Every fault ever logged, drained or not."""
+        return self._drained + len(self._records)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -69,13 +95,19 @@ class UVMFaultHandler:
         self.fault_buffer = fault_buffer
         self.resubmit = resubmit
         self.fault_latency = fault_latency
+        #: Requests waiting for host servicing, in arrival order.  The
+        #: invariant checker counts these as live walks: a tracked L2
+        #: miss whose walk faulted is owned here until relaunch.
+        self._pending: list[WalkRequest] = []
 
     def handle(self, request: WalkRequest) -> None:
         """Called when a walk completed with a fault."""
         self.fault_buffer.record(request.vpn, request.fault_level, self.engine.now)
+        self._pending.append(request)
         self.engine.schedule(self.fault_latency, self._service, request)
 
     def _service(self, request: WalkRequest) -> None:
+        self._pending.remove(request)
         self.space.ensure_mapped(request.vpn)
         for vpn in request.merged_vpns:
             self.space.ensure_mapped(vpn)
@@ -83,3 +115,12 @@ class UVMFaultHandler:
         request.faulted = False
         request.fault_level = 0
         self.resubmit(request)
+
+    @property
+    def in_flight(self) -> int:
+        """Faulted walks awaiting host service."""
+        return len(self._pending)
+
+    def pending_requests(self) -> list[WalkRequest]:
+        """The faulted walks currently parked here (audit support)."""
+        return list(self._pending)

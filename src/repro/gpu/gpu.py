@@ -46,6 +46,50 @@ class SimulationResult:
     num_sms: int
     stall_cycles: int
     memory_wait_cycles: int
+    #: Effective RNG seed of the workload (derived when the caller
+    #: passed ``seed=None``) — enough to replay this run exactly.
+    seed: int | None = None
+    #: False when the run was degraded to a partial result (supervised
+    #: execution gave up before every warp finished).
+    complete: bool = True
+
+    # ------------------------------------------------------------------
+    # Replay / resume verification
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> dict:
+        """Canonical digest of every observable outcome of the run.
+
+        Two runs are considered bit-identical when their fingerprints
+        compare equal: headline numbers, every counter, every histogram
+        bucket, and every latency component are included, so a resumed
+        run that diverges anywhere from its uninterrupted twin cannot
+        slip through.
+        """
+        histograms = {
+            name: sorted(self.stats.histogram(name).as_dict().items())
+            for name in self.stats.histogram_names()
+        }
+        latencies = {
+            name: (
+                self.stats.latency(name).count,
+                sorted(self.stats.latency(name).components().items()),
+            )
+            for name in self.stats.latency_names()
+        }
+        return {
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "pw_instructions": self.pw_instructions,
+            "num_sms": self.num_sms,
+            "stall_cycles": self.stall_cycles,
+            "memory_wait_cycles": self.memory_wait_cycles,
+            "seed": self.seed,
+            "complete": self.complete,
+            "counters": sorted(self.stats.counters.as_dict().items()),
+            "histograms": histograms,
+            "latencies": latencies,
+        }
 
     # ------------------------------------------------------------------
     # Headline metrics
@@ -182,6 +226,7 @@ class GPUSimulator:
         )
         self._warps = self._build_warps()
         self._warps_remaining = len(self._warps)
+        self._started = False
         if self.obs.metrics.enabled:
             self._register_metrics()
 
@@ -268,7 +313,16 @@ class GPUSimulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, *, max_events: int | None = None) -> SimulationResult:
+    def start(self) -> None:
+        """Launch every warp (and the metrics sampler) exactly once.
+
+        Idempotent, so supervised runners can call it before each
+        :meth:`advance` slice without double-issuing warps.  A simulator
+        restored from a checkpoint is already started.
+        """
+        if self._started:
+            return
+        self._started = True
         for warp in self._warps:
             warp.start()
         if self.obs.metrics.enabled:
@@ -278,6 +332,24 @@ class GPUSimulator:
                 self.obs.sample_interval,
                 trace=self.obs.trace,
             ).start()
+
+    def advance(self, *, max_events: int | None = None) -> bool:
+        """Run one bounded slice; returns True while real work remains.
+
+        The supervised runner drives the simulation in slices so it can
+        checkpoint, audit, and check its watchdog between them without
+        ever raising :class:`SimulationTruncated` mid-flight.
+        """
+        self.start()
+        self.engine.run(max_events=max_events)
+        return self.engine.real_pending > 0
+
+    @property
+    def warps_remaining(self) -> int:
+        return self._warps_remaining
+
+    def run(self, *, max_events: int | None = None) -> SimulationResult:
+        self.start()
         self.engine.run(max_events=max_events)
         if self._warps_remaining:
             if self.engine.truncated:
@@ -300,6 +372,19 @@ class GPUSimulator:
                 RuntimeWarning,
                 stacklevel=2,
             )
+        return self._build_result(complete=True)
+
+    def partial_result(self) -> SimulationResult:
+        """Best-effort result from wherever the run currently stands.
+
+        Supervised execution uses this for graceful degradation: when
+        retries are exhausted the caller gets everything the truncated
+        run did measure, flagged ``complete=False`` (unless every warp
+        in fact finished).
+        """
+        return self._build_result(complete=self._warps_remaining == 0)
+
+    def _build_result(self, *, complete: bool) -> SimulationResult:
         cycles = self.engine.now
         instructions = sum(sm.user_issued for sm in self.sms)
         pw_instructions = sum(sm.pw_issued for sm in self.sms)
@@ -314,4 +399,6 @@ class GPUSimulator:
             num_sms=self.config.num_sms,
             stall_cycles=stall,
             memory_wait_cycles=sum(sm.memory_wait for sm in self.sms),
+            seed=getattr(self.workload, "effective_seed", None),
+            complete=complete,
         )

@@ -14,6 +14,7 @@ the L1-side retry a real design performs, without retry-storm events.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Protocol
 
 from repro.config import GPUConfig
@@ -79,18 +80,12 @@ class TranslationService:
         if config.tlb_coalescing_span > 1:
             from repro.tlb.coalesced import CoalescedTLB
 
-            def probe_neighbour(neighbour_vpn: int) -> int | None:
-                try:
-                    return space.translate(neighbour_vpn)
-                except PageFault:
-                    return None
-
             self.l2_tlb: TLB = CoalescedTLB(
                 config.l2_tlb,
                 stats,
                 name="l2tlb",
                 span=config.tlb_coalescing_span,
-                translate=probe_neighbour,
+                translate=self._probe_neighbour,
             )
         else:
             self.l2_tlb = TLB(config.l2_tlb, stats, name="l2tlb")
@@ -131,6 +126,13 @@ class TranslationService:
         self._l1_parked_order: list[deque[int]] = [
             deque() for _ in range(config.num_sms)
         ]
+
+    def _probe_neighbour(self, neighbour_vpn: int) -> int | None:
+        """Coalesced-TLB range probe: PFN if mapped, None otherwise."""
+        try:
+            return self.space.translate(neighbour_vpn)
+        except PageFault:
+            return None
 
     # ------------------------------------------------------------------
     # Request entry (from warps' coalesced memory instructions)
@@ -209,10 +211,7 @@ class TranslationService:
             return True
         predictor.record_outcome(False)
 
-        def trained_callback(time: int, pfn: int) -> None:
-            predictor.observe(vpn, pfn)
-            callback(time + MISPREDICT_PENALTY, pfn)
-
+        trained_callback = partial(self._trained_respond, sm_id, vpn, callback)
         result = self.l1_mshrs[sm_id].allocate(vpn, trained_callback)
         if result is MSHRResult.NEW:
             when = max(self.engine.now, lookup_done + MISPREDICT_PENALTY)
@@ -227,6 +226,19 @@ class TranslationService:
             else:
                 waiters.append(trained_callback)
         return True
+
+    def _trained_respond(
+        self, sm_id: int, vpn: int, callback: TranslationCallback, time: int, pfn: int
+    ) -> None:
+        """Deliver a squashed misprediction's verified translation.
+
+        Trains the predictor on the real PFN and charges the squash
+        penalty on top of the ordinary miss latency.
+        """
+        from repro.tlb.speculation import MISPREDICT_PENALTY
+
+        self._predictors[sm_id].observe(vpn, pfn)
+        callback(time + MISPREDICT_PENALTY, pfn)
 
     # ------------------------------------------------------------------
     # L2 TLB
@@ -338,11 +350,32 @@ class TranslationService:
             # NHA: the fetched PTE sector satisfied neighbours too.
             try:
                 pfn = self.space.translate(vpn)
-            except PageFault:
+            except PageFault as fault:
+                # The neighbour's PTE is invalid (unmapped or corrupted
+                # while the host walk was in flight).  Its waiters are
+                # still parked in the tracker, so relaunch it as its own
+                # walk through the far-fault path rather than dropping
+                # it — `continue` alone would strand them forever.
+                self._refault_merged(vpn, fault.level, now)
                 continue
             self.stats.counters.add("walks.completed_merged")
             self._resolve_vpn(vpn, pfn, now)
         self._drain_backpressure()
+
+    def _refault_merged(self, vpn: int, level: int, now: int) -> None:
+        """Re-home a faulted NHA neighbour as a standalone walk."""
+        self.stats.counters.add("walks.refaulted_merged")
+        if self.fault_handler is None:
+            raise PageFault(vpn, level)
+        orphan = WalkRequest(
+            vpn=vpn,
+            enqueue_time=now,
+            start_level=self.space.layout.levels,
+            node_base=self.space.radix.root_base,
+        )
+        orphan.faulted = True
+        orphan.fault_level = level
+        self.fault_handler.handle(orphan)
 
     def _resolve_vpn(self, vpn: int, pfn: int, time: int) -> None:
         self._first_miss.pop(vpn, None)

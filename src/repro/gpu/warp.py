@@ -11,7 +11,8 @@ behaviour that page-walk scheduling work (ref [85]) tries to soften.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from functools import partial
+from typing import Iterable, Sequence
 
 #: Cache-line size in bytes and its log2 (virtual lines are VA // 128).
 LINE_BYTES = 128
@@ -121,27 +122,24 @@ class Warp:
         self._pending_pages = len(groups) + 1
         sm_id = self.sm.sm_id
         for vpn, lines in groups.items():
+            # A partial (not a closure) so in-flight callbacks parked in
+            # MSHR files and the event queue survive checkpoint copies.
             self.translation.request(
-                sm_id, vpn, issue_done, self._make_callback(lines)
+                sm_id, vpn, issue_done, partial(self._on_translated, tuple(lines))
             )
         self._page_done(issue_done)
 
-    def _make_callback(self, lines: list[int]) -> Callable[[int, int], None]:
+    def _on_translated(self, lines: tuple[int, ...], time: int, pfn: int) -> None:
+        done = time
+        frame_base = pfn << self.page_shift
         line_mask = self.lines_per_page - 1
-        page_shift = self.page_shift
         sm_id = self.sm.sm_id
-
-        def on_translated(time: int, pfn: int) -> None:
-            done = time
-            frame_base = pfn << page_shift
-            for vline in lines:
-                address = frame_base | ((vline & line_mask) << LINE_SHIFT)
-                completion = self.memory.data_access(sm_id, address, time)
-                if completion > done:
-                    done = completion
-            self._page_done(done)
-
-        return on_translated
+        for vline in lines:
+            address = frame_base | ((vline & line_mask) << LINE_SHIFT)
+            completion = self.memory.data_access(sm_id, address, time)
+            if completion > done:
+                done = completion
+        self._page_done(done)
 
     def _page_done(self, done: int) -> None:
         if done > self._mem_done:

@@ -7,6 +7,12 @@ from repro.harness.runner import (
     run_workload,
     speedups,
 )
+from repro.harness.supervised import (
+    SupervisedReport,
+    SupervisionPolicy,
+    WatchdogTimeout,
+    run_supervised,
+)
 
 __all__ = [
     "build_workload",
@@ -14,4 +20,8 @@ __all__ = [
     "run_matrix",
     "run_workload",
     "speedups",
+    "SupervisedReport",
+    "SupervisionPolicy",
+    "WatchdogTimeout",
+    "run_supervised",
 ]

@@ -26,6 +26,10 @@ class DRAM:
         self.config = config
         self.stats = stats
         self._channel_free = [0] * config.channels
+        #: Transient per-access latency penalty (fault injection models
+        #: DRAM latency spikes — thermal throttling, refresh storms —
+        #: by raising this for a bounded window).
+        self.extra_latency = 0
 
     def channel_of(self, address: int) -> int:
         return (address // CHANNEL_INTERLEAVE_BYTES) % self.config.channels
@@ -39,7 +43,7 @@ class DRAM:
         self.stats.counters.add("dram.accesses")
         if queue_delay:
             self.stats.counters.add("dram.queue_cycles", queue_delay)
-        return start + self.config.latency
+        return start + self.config.latency + self.extra_latency
 
     def busy_until(self, channel: int) -> int:
         return self._channel_free[channel]

@@ -19,6 +19,10 @@ from repro.pagetable.radix import PageFault
 #: Each hashed PTE holds tag + PFN + metadata.
 SLOT_BYTES = 16
 
+#: Deleted-slot marker: keeps linear-probe chains intact across unmaps
+#: (probes continue past it; maps may reuse it).
+_TOMBSTONE: tuple[int, int] = (-1, -1)
+
 #: Knuth multiplicative hashing constant (64-bit golden ratio).
 _HASH_MULTIPLIER = 0x9E3779B97F4A7C15
 _HASH_MASK = (1 << 64) - 1
@@ -67,17 +71,46 @@ class HashedPageTable:
         return self._base + slot * SLOT_BYTES
 
     def map(self, vpn: int, pfn: int) -> None:
-        """Insert vpn -> pfn, linear-probing past occupied slots."""
+        """Insert vpn -> pfn, linear-probing past occupied slots.
+
+        Tombstoned slots are remembered and reused once the probe chain
+        confirms ``vpn`` is not already present further along.
+        """
+        slot = self._hash(vpn)
+        reusable: int | None = None
+        for probe in range(self.num_slots):
+            index = (slot + probe) & (self.num_slots - 1)
+            occupant = self._slots.get(index)
+            if occupant == _TOMBSTONE:
+                if reusable is None:
+                    reusable = index
+                continue
+            if occupant is None or occupant[0] == vpn:
+                if occupant is None:
+                    if reusable is not None:
+                        index = reusable
+                    self._mapped += 1
+                self._slots[index] = (vpn, pfn)
+                return
+        if reusable is not None:
+            self._slots[reusable] = (vpn, pfn)
+            self._mapped += 1
+            return
+        raise RuntimeError("hashed page table full")
+
+    def unmap(self, vpn: int) -> bool:
+        """Tombstone ``vpn``'s slot; returns False when not mapped."""
         slot = self._hash(vpn)
         for probe in range(self.num_slots):
             index = (slot + probe) & (self.num_slots - 1)
             occupant = self._slots.get(index)
-            if occupant is None or occupant[0] == vpn:
-                if occupant is None:
-                    self._mapped += 1
-                self._slots[index] = (vpn, pfn)
-                return
-        raise RuntimeError("hashed page table full")
+            if occupant is None:
+                return False
+            if occupant != _TOMBSTONE and occupant[0] == vpn:
+                self._slots[index] = _TOMBSTONE
+                self._mapped -= 1
+                return True
+        return False
 
     def probe(self, vpn: int) -> tuple[int | None, tuple[int, ...]]:
         """Translate ``vpn``; returns ``(pfn_or_None, probed_addresses)``.
@@ -94,7 +127,7 @@ class HashedPageTable:
             occupant = self._slots.get(index)
             if occupant is None:
                 return None, tuple(probes)
-            if occupant[0] == vpn:
+            if occupant != _TOMBSTONE and occupant[0] == vpn:
                 return occupant[1], tuple(probes)
         return None, tuple(probes)
 

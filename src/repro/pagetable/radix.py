@@ -127,6 +127,25 @@ class RadixPageTable:
             return False
         return True
 
+    def unmap(self, vpn: int) -> bool:
+        """Invalidate ``vpn``'s leaf PTE (driver eviction / corruption).
+
+        Intermediate nodes stay allocated, exactly like a real driver
+        clearing one PTE.  Returns False when the page was not mapped.
+        """
+        node = self._root
+        for level in range(self.layout.levels, 1, -1):
+            child = node.children.get(self.layout.level_index(vpn, level))
+            if child is None:
+                return False
+            node = child
+        leaf_index = self.layout.level_index(vpn, 1)
+        if leaf_index not in node.leaves:
+            return False
+        del node.leaves[leaf_index]
+        self._mapped_pages -= 1
+        return True
+
     def walk_path(self, vpn: int, start_level: int | None = None) -> list[WalkStep]:
         """The sequence of PTE reads a walk of ``vpn`` performs.
 

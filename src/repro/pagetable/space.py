@@ -53,8 +53,23 @@ class AddressSpace:
         for vpn in range(first_vpn, first_vpn + num_pages):
             self.ensure_mapped(vpn)
 
+    def unmap(self, vpn: int) -> bool:
+        """Invalidate ``vpn`` everywhere (radix + hashed mirror).
+
+        The next walk of ``vpn`` hits an invalid PTE and takes the
+        far-fault path; :meth:`ensure_mapped` then installs a fresh
+        frame.  Returns False when the page was not mapped.
+        """
+        removed = self.radix.unmap(vpn)
+        if removed and self.hashed is not None:
+            self.hashed.unmap(vpn)
+        return removed
+
     def translate(self, vpn: int) -> int:
         return self.radix.translate(vpn)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return self.radix.is_mapped(vpn)
 
     @property
     def mapped_pages(self) -> int:

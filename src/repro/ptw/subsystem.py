@@ -57,6 +57,13 @@ class HardwareWalkBackend:
         self.on_complete: CompletionCallback | None = None
         self._queue: deque[WalkRequest] = deque()
         self._free_walkers = config.num_walkers
+        #: Requests currently executing on a walker, in start order.
+        #: Kept for conservation audits: every tracked L2 miss must be
+        #: attributable to a live walk somewhere in the machine.
+        self._busy: list[WalkRequest] = []
+        #: Walkers administratively removed from the pool (fault
+        #: injection models transient walker stalls this way).
+        self._stalled = 0
         # PWB ports bound how many walks can be dequeued per cycle.
         self._port_cycle = 0
         self._port_used = 0
@@ -76,7 +83,40 @@ class HardwareWalkBackend:
 
     @property
     def busy_walkers(self) -> int:
-        return self.config.num_walkers - self._free_walkers
+        return len(self._busy)
+
+    @property
+    def stalled_walkers(self) -> int:
+        return self._stalled
+
+    @property
+    def in_flight(self) -> int:
+        """Requests the backend currently owns (queued + executing)."""
+        return len(self._queue) + len(self._busy)
+
+    def live_requests(self) -> list[WalkRequest]:
+        """Every request the backend owns right now (audit support)."""
+        return [*self._queue, *self._busy]
+
+    def stall_walkers(self, count: int) -> int:
+        """Administratively remove up to ``count`` walkers from the pool.
+
+        Busy walkers finish their current walk but do not pick up new
+        work until :meth:`resume_walkers`.  Returns how many were
+        actually stalled (never more than the pool size).
+        """
+        count = max(0, min(count, self.config.num_walkers - self._stalled))
+        self._stalled += count
+        self._free_walkers -= count
+        return count
+
+    def resume_walkers(self, count: int) -> None:
+        """Return stalled walkers to service and drain the PWB backlog."""
+        count = max(0, min(count, self._stalled))
+        self._stalled -= count
+        self._free_walkers += count
+        while self._queue and self._free_walkers > 0:
+            self._start(self._dequeue())
 
     def utilisation(self) -> float:
         """Instantaneous fraction of walkers busy (a sampler gauge)."""
@@ -158,6 +198,7 @@ class HardwareWalkBackend:
 
     def _start(self, request: WalkRequest) -> None:
         self._free_walkers -= 1
+        self._busy.append(request)
         if self.config.nha_coalescing:
             self._nha_pending.pop(self._nha_key(request.vpn), None)
         begin = self._acquire_port(max(self.engine.now, request.enqueue_time))
@@ -206,6 +247,7 @@ class HardwareWalkBackend:
 
     def _finish(self, request: WalkRequest, outcome: WalkOutcome) -> None:
         self._free_walkers += 1
+        self._busy.remove(request)
         self._last_sm = request.requester_sm
         if self.on_complete is None:
             raise RuntimeError("HardwareWalkBackend.on_complete not wired")

@@ -1,0 +1,84 @@
+"""Checkpoint/restore for in-flight simulations.
+
+A checkpoint is a deep copy of the *entire* simulator object graph —
+engine heap, TLB arrays, MSHR files, walk queues, warps, page tables,
+statistics — taken between events.  Because every callback in the graph
+is a bound method or ``functools.partial`` (never a closure), the copy
+is self-consistent: restored components reference each other, never the
+original simulator.
+
+Restoring never consumes the checkpoint: each :meth:`Checkpoint.restore`
+hands back a fresh copy, so one snapshot supports any number of retry
+attempts.  :meth:`Checkpoint.save`/:meth:`Checkpoint.load` round-trip
+through pickle for on-disk persistence.
+
+Caveat: simulators with *sampled metrics* enabled cannot be
+checkpointed — gauge callbacks are registered as lambdas closing over
+live components, which deep-copy by reference and would alias the
+restored simulator back to the original.  :meth:`Checkpoint.capture`
+refuses loudly instead of corrupting silently.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass
+
+
+class CheckpointError(RuntimeError):
+    """The simulator cannot be checkpointed (or a snapshot is unusable)."""
+
+
+@dataclass
+class Checkpoint:
+    """One restorable snapshot of a :class:`~repro.gpu.gpu.GPUSimulator`."""
+
+    #: Pristine deep copy of the simulator; never handed out directly.
+    _state: object
+    #: Simulation cycle at capture time.
+    cycle: int
+    #: Engine events processed at capture time.
+    events_processed: int
+
+    @classmethod
+    def capture(cls, sim) -> "Checkpoint":
+        """Snapshot ``sim`` between events.
+
+        Raises :class:`CheckpointError` when the simulator has sampled
+        metrics enabled (see module docstring).
+        """
+        if sim.obs.metrics.enabled:
+            raise CheckpointError(
+                "cannot checkpoint with sampled metrics enabled: gauge "
+                "lambdas alias the live simulator; run without "
+                "Observability.sampling() to use checkpoints"
+            )
+        return cls(
+            _state=copy.deepcopy(sim),
+            cycle=sim.engine.now,
+            events_processed=sim.engine.events_processed,
+        )
+
+    def restore(self):
+        """A fresh simulator resumed from this snapshot.
+
+        Deep-copies the stored state so the checkpoint itself stays
+        pristine — restore as many times as retries demand.
+        """
+        return copy.deepcopy(self._state)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        if not isinstance(snapshot, cls):
+            raise CheckpointError(f"{path} does not contain a Checkpoint")
+        return snapshot

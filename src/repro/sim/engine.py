@@ -19,6 +19,11 @@ provide them:
 * **Callback profiling** (``enable_profiling``) — accumulates wall-clock
   time per callback site, turning the engine into its own profiler for
   finding simulator hot spots.
+* **Audit hook** (``attach_audit``) — a callback invoked every N
+  processed events, used by the resilience layer's invariant checker.
+  Unlike daemons it is event-indexed rather than time-indexed, so audits
+  track simulation *progress* even when the clock jumps.  Detached, it
+  costs one attribute load per event.
 """
 
 from __future__ import annotations
@@ -52,6 +57,10 @@ class Engine:
         self.truncated: bool = False
         #: qualname -> [calls, wall seconds]; None when profiling is off.
         self._profile: dict[str, list] | None = None
+        #: Audit hook state; None when no auditor is attached.
+        self._audit: Callable[[], None] | None = None
+        self._audit_every: int = 0
+        self._audit_countdown: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -110,6 +119,11 @@ class Engine:
         processed = 0
         profile = self._profile
         while self._queue:
+            if max_events is not None and processed >= max_events:
+                # Checked at loop top so ``max_events=0`` processes
+                # nothing and the tally can never leak across runs.
+                self.truncated = self.real_pending > 0
+                break
             if self._daemons_pending == len(self._queue):
                 # Only housekeeping left: drop it without moving the clock.
                 self._queue.clear()
@@ -139,9 +153,15 @@ class Engine:
                 callback(*args)
             processed += 1
             self._events_processed += 1
-            if max_events is not None and processed >= max_events:
-                self.truncated = self.real_pending > 0
-                break
+            audit = self._audit
+            if audit is not None:
+                self._audit_countdown -= 1
+                if self._audit_countdown <= 0:
+                    # Reset before the call so an auditor that raises
+                    # (and is caught by a supervisor that resumes the
+                    # run) does not re-fire on the very next event.
+                    self._audit_countdown = self._audit_every
+                    audit()
         return self.now
 
     def step(self) -> bool:
@@ -155,6 +175,34 @@ class Engine:
         callback(*args)
         self._events_processed += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+    def attach_audit(self, every: int, callback: Callable[[], None]) -> None:
+        """Invoke ``callback()`` after every ``every`` processed events.
+
+        One auditor at a time; attaching replaces the previous one.  The
+        auditor runs between events, so it always observes a consistent
+        post-callback machine state.  An exception it raises propagates
+        out of ``run`` with the engine left resumable (the triggering
+        event has fully executed).
+        """
+        if every < 1:
+            raise SimulationError(f"audit interval must be >= 1, got {every}")
+        self._audit = callback
+        self._audit_every = every
+        self._audit_countdown = every
+
+    def detach_audit(self) -> None:
+        """Remove the audit hook (restores zero-cost event dispatch)."""
+        self._audit = None
+        self._audit_every = 0
+        self._audit_countdown = 0
+
+    @property
+    def auditing(self) -> bool:
+        return self._audit is not None
 
     # ------------------------------------------------------------------
     # Self-profiling

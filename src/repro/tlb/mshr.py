@@ -39,6 +39,10 @@ class MSHRFile:
         if entries < 0 or merges < 1:
             raise ValueError("MSHR file needs entries >= 0 and merges >= 1")
         self.capacity = entries
+        #: As-built capacity.  ``capacity`` may be temporarily lowered
+        #: (fault injection models MSHR-exhaustion bursts that way);
+        #: invariant audits always check occupancy against this bound.
+        self.nominal_capacity = entries
         self.merges = merges
         self.stats = stats
         self.name = name
@@ -71,6 +75,24 @@ class MSHRFile:
 
     def is_tracking(self, vpn: int) -> bool:
         return vpn in self._entries
+
+    def set_capacity(self, entries: int) -> None:
+        """Adjust the usable entry count (transient fault injection).
+
+        Lowering below the current occupancy only refuses *new*
+        allocations; existing entries drain normally.  Never raises the
+        bound above ``nominal_capacity``.
+        """
+        self.capacity = max(0, min(entries, self.nominal_capacity))
+
+    def tracked_vpns(self) -> list[int]:
+        """VPNs with a live entry, in allocation order (audit support)."""
+        return list(self._entries)
+
+    def waiter_count(self, vpn: int) -> int:
+        """Waiters merged onto ``vpn``'s entry (0 when not tracking)."""
+        waiters = self._entries.get(vpn)
+        return len(waiters) if waiters is not None else 0
 
     @property
     def occupancy(self) -> int:

@@ -157,6 +157,20 @@ class TLB:
     def pending_entries(self) -> int:
         return self._pending_count
 
+    def pending_vpns(self) -> list[int]:
+        """VPNs of every in-TLB MSHR (pending) way (audit support)."""
+        return [
+            entry.vpn
+            for tlb_set in self._sets
+            for entry in tlb_set.values()
+            if entry.pending
+        ]
+
+    def pending_waiter_count(self, vpn: int) -> int:
+        """Waiters parked on ``vpn``'s pending way (0 if none)."""
+        entry = self.probe_pending(vpn)
+        return len(entry.waiters) if entry is not None else 0
+
     # ------------------------------------------------------------------
     # Way management
     # ------------------------------------------------------------------

@@ -81,6 +81,10 @@ class TraceWorkload:
         self.page_size = config.page_table.page_size
         self._lines_per_page = self.page_size // LINE_BYTES
         base_seed = seed if seed is not None else zlib.crc32(spec.name.encode())
+        #: The seed actually used, derived when ``seed=None`` — recorded
+        #: in :class:`~repro.gpu.gpu.SimulationResult` so any run can be
+        #: replayed exactly from its result metadata.
+        self.effective_seed = base_seed
         self._rng = np.random.default_rng(base_seed)
         self.footprint_lines = spec.footprint_lines(footprint_scale)
 
@@ -158,6 +162,10 @@ class TraceWorkload:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def touched_page_set(self) -> set[int]:
+        """Every VPN the traces touch (fault injectors pick targets here)."""
+        return self._page_set()
+
     @property
     def total_mem_instructions(self) -> int:
         return self.config.num_sms * self.warps_per_sm * self.mem_insts_per_warp

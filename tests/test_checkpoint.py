@@ -1,0 +1,104 @@
+"""Checkpoint capture/restore tests, including bit-identical resume."""
+
+import pytest
+
+from repro.config import baseline_config, softwalker_config
+from repro.gpu.gpu import GPUSimulator
+from repro.harness.runner import build_workload
+from repro.obs import Observability
+from repro.resilience import (
+    Checkpoint,
+    CheckpointError,
+    FaultInjector,
+    default_chaos_plan,
+)
+
+SCALE = 0.05
+
+
+def make_sim(config, **kwargs):
+    return GPUSimulator(
+        config, build_workload("gups", config, scale=SCALE), **kwargs
+    )
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize(
+        "config_fn",
+        [baseline_config, softwalker_config, lambda: softwalker_config(hybrid=True)],
+        ids=["baseline", "softwalker", "hybrid"],
+    )
+    def test_resume_matches_uninterrupted_run(self, config_fn):
+        """The acceptance bar: counters, histograms, and latency
+        trackers of a resumed run equal the uninterrupted run's."""
+        config = config_fn()
+        reference = make_sim(config).run().fingerprint()
+
+        sim = make_sim(config)
+        sim.advance(max_events=2_000)
+        snapshot = Checkpoint.capture(sim)
+        resumed = snapshot.restore().run().fingerprint()
+        assert resumed == reference
+
+    def test_capture_does_not_disturb_the_original(self):
+        config = baseline_config()
+        reference = make_sim(config).run().fingerprint()
+        sim = make_sim(config)
+        sim.advance(max_events=2_000)
+        Checkpoint.capture(sim)
+        assert sim.run().fingerprint() == reference
+
+    def test_restore_is_repeatable(self):
+        config = baseline_config()
+        sim = make_sim(config)
+        sim.advance(max_events=2_000)
+        snapshot = Checkpoint.capture(sim)
+        first = snapshot.restore().run().fingerprint()
+        second = snapshot.restore().run().fingerprint()
+        assert first == second
+
+    def test_resume_with_armed_chaos_plan(self):
+        """Checkpoints taken mid-chaos replay the remaining faults."""
+        config = baseline_config()
+
+        def chaotic_sim():
+            sim = make_sim(config)
+            FaultInjector(sim, default_chaos_plan(seed=5)).arm()
+            return sim
+
+        reference = chaotic_sim().run().fingerprint()
+        sim = chaotic_sim()
+        sim.advance(max_events=3_000)
+        resumed = Checkpoint.capture(sim).restore().run().fingerprint()
+        assert resumed == reference
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        config = baseline_config()
+        sim = make_sim(config)
+        sim.advance(max_events=2_000)
+        snapshot = Checkpoint.capture(sim)
+        path = tmp_path / "run.ckpt"
+        snapshot.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded.cycle == snapshot.cycle
+        assert loaded.events_processed == snapshot.events_processed
+        assert loaded.restore().run().fingerprint() == sim.run().fingerprint()
+
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+
+class TestRefusals:
+    def test_sampled_metrics_refused(self):
+        config = baseline_config()
+        sim = make_sim(config, obs=Observability.sampling(1000))
+        sim.advance(max_events=500)
+        with pytest.raises(CheckpointError, match="sampled metrics"):
+            Checkpoint.capture(sim)

@@ -124,3 +124,59 @@ class TestObservabilityCommands:
         loaded = json.loads(out.read_text())
         assert loaded["samples_taken"] > 0
         assert "l2tlb.hit_rate" in loaded["series"]
+
+
+class TestResilienceCommands:
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "gups"])
+        assert args.config == "baseline"
+        assert args.seed == 0
+        assert args.audit_every == 2000
+        assert args.plan is None
+
+    def test_checkpoint_parser_defaults(self):
+        args = build_parser().parse_args(["checkpoint", "gups"])
+        assert args.events == 5000
+        assert args.out is None
+
+    def test_chaos_runs_clean(self, capsys):
+        assert main(["chaos", "gups", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "invariant violations" in out
+        assert "replay seed" in out
+
+    def test_chaos_with_explicit_plan_file(self, tmp_path, capsys):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            seed=9, faults=(FaultSpec(kind="dram_spike", time=100, duration=200),)
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert main(["chaos", "gups", "--scale", "0.05", "--plan", str(path)]) == 0
+        assert "plan seed 9" in capsys.readouterr().out
+
+    def test_chaos_rejects_bad_audit_interval(self, capsys):
+        assert main(["chaos", "gups", "--audit-every", "0"]) == 2
+
+    def test_checkpoint_verifies_bit_identity(self, tmp_path, capsys):
+        out_path = tmp_path / "snap.ckpt"
+        assert (
+            main(
+                [
+                    "checkpoint",
+                    "gups",
+                    "--scale",
+                    "0.05",
+                    "--events",
+                    "2000",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bit-identical resume" in out and "yes" in out
+        assert out_path.exists()

@@ -163,6 +163,97 @@ def test_daemons_do_not_count_as_real_pending():
     assert engine.real_pending == 1
 
 
+def test_truncated_flag_resets_across_consecutive_runs():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    engine.run(max_events=10)
+    assert engine.truncated
+    # Stop rescheduling so the next run can drain naturally.
+    engine._queue.clear()
+    engine.schedule(1, lambda: None)
+    engine.run()
+    assert not engine.truncated
+
+
+def test_max_events_tally_does_not_leak_across_runs():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    engine.run(max_events=5)
+    engine.run(max_events=5)
+    # Each run gets its own budget: 10 events total, not 5.
+    assert engine.events_processed == 10
+
+
+def test_max_events_zero_processes_nothing():
+    engine = Engine()
+    seen = []
+    engine.schedule(1, seen.append, "x")
+    engine.run(max_events=0)
+    assert seen == []
+    assert engine.truncated
+    engine.run()
+    assert seen == ["x"]
+    assert not engine.truncated
+
+
+def test_audit_hook_fires_every_n_events():
+    engine = Engine()
+    audits = []
+    for delay in range(10):
+        engine.schedule(delay, lambda: None)
+    engine.attach_audit(3, lambda: audits.append(engine.events_processed))
+    engine.run()
+    assert audits == [3, 6, 9]
+
+
+def test_audit_interval_must_be_positive():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.attach_audit(0, lambda: None)
+
+
+def test_detach_audit_stops_callbacks():
+    engine = Engine()
+    audits = []
+    engine.attach_audit(1, lambda: audits.append(engine.now))
+    assert engine.auditing
+    engine.schedule(1, lambda: None)
+    engine.run()
+    engine.detach_audit()
+    assert not engine.auditing
+    engine.schedule(1, lambda: None)
+    engine.run()
+    assert len(audits) == 1
+
+
+def test_audit_exception_leaves_engine_resumable():
+    engine = Engine()
+
+    def fail():
+        raise ValueError("audit tripped")
+
+    seen = []
+    for delay in range(4):
+        engine.schedule(delay, seen.append, delay)
+    engine.attach_audit(2, fail)
+    with pytest.raises(ValueError):
+        engine.run()
+    # The triggering event fully executed; the rest are still queued and
+    # the countdown was reset, so resuming does not re-fire immediately.
+    assert seen == [0, 1]
+    with pytest.raises(ValueError):
+        engine.run()
+    assert seen == [0, 1, 2, 3]
+
+
 def test_profiling_accumulates_per_callback_site():
     engine = Engine()
     engine.enable_profiling()

@@ -19,6 +19,31 @@ class TestFaultBuffer:
         assert buffer.records[0].vpn == 5
         assert buffer.stats.counters.get("faults.recorded") == 2
 
+    def test_records_is_an_immutable_view(self):
+        buffer = FaultBuffer(StatsRegistry())
+        buffer.record(vpn=1, level=1, time=0)
+        view = buffer.records
+        assert isinstance(view, tuple)
+        buffer.record(vpn=2, level=1, time=1)
+        # The earlier view is a snapshot; fresh reads see the new entry.
+        assert len(view) == 1
+        assert len(buffer.records) == 2
+
+    def test_drain_hands_over_batch_and_clears(self):
+        buffer = FaultBuffer(StatsRegistry())
+        buffer.record(vpn=1, level=1, time=0)
+        buffer.record(vpn=2, level=2, time=5)
+        batch = buffer.drain()
+        assert [record.vpn for record in batch] == [1, 2]
+        assert len(buffer) == 0
+        assert buffer.records == ()
+        buffer.record(vpn=3, level=1, time=9)
+        assert [record.vpn for record in buffer.records] == [3]
+        assert buffer.total_recorded == 3
+        assert [record.vpn for record in buffer.drain()] == [3]
+        assert buffer.drain() == []  # idempotent when empty
+        assert buffer.total_recorded == 3
+
 
 class TestUVMFaultHandler:
     def test_maps_page_and_resubmits(self):
@@ -87,6 +112,55 @@ class TestEndToEndDemandPaging:
         assert len(simulator.fault_buffer) > 0
         assert workload.space.mapped_pages == workload.touched_pages
         assert result.cycles > DEFAULT_FAULT_LATENCY  # fault round-trips visible
+
+    def test_many_simultaneous_far_faults(self):
+        """A burst of overlapping faults services in order, none lost."""
+        engine = Engine()
+        stats = StatsRegistry()
+        space = AddressSpace(PageTableConfig())
+        buffer = FaultBuffer(stats)
+        resubmitted = []
+        handler = UVMFaultHandler(
+            engine, space, buffer, resubmitted.append, fault_latency=500
+        )
+        requests = []
+        for index in range(64):
+            request = WalkRequest(
+                vpn=0x1000 + index, enqueue_time=index, start_level=4, node_base=0
+            )
+            request.faulted = True
+            request.fault_level = 1
+            requests.append(request)
+            engine.schedule_at(index, handler.handle, request)
+        engine.run()
+        # Every fault was logged, serviced after exactly fault_latency,
+        # and relaunched in arrival order with its page mapped.
+        assert buffer.total_recorded == 64
+        assert handler.in_flight == 0
+        assert resubmitted == requests
+        for request in requests:
+            assert not request.faulted
+            assert space.is_mapped(request.vpn)
+        assert engine.now == 63 + 500
+
+    def test_pending_requests_tracks_in_flight_window(self):
+        engine = Engine()
+        space = AddressSpace(PageTableConfig())
+        handler = UVMFaultHandler(
+            engine, space, FaultBuffer(StatsRegistry()), lambda r: None,
+            fault_latency=100,
+        )
+        first = WalkRequest(vpn=1, enqueue_time=0, start_level=4, node_base=0)
+        second = WalkRequest(vpn=2, enqueue_time=0, start_level=4, node_base=0)
+        handler.handle(first)
+        engine.schedule(50, handler.handle, second)
+        engine.run(until=60)
+        assert handler.in_flight == 2
+        assert handler.pending_requests() == [first, second]
+        engine.run(until=120)
+        assert handler.pending_requests() == [second]
+        engine.run()
+        assert handler.in_flight == 0
 
     def test_faults_serviced_under_softwalker(self):
         config = (

@@ -95,3 +95,98 @@ class TestCounterViews:
         result.stats.counters.add("gpu.mem_instructions", 40)
         assert result.mean_memory_latency == pytest.approx(20.0)
         assert make_result().mean_memory_latency == 0.0
+
+
+class TestReplayMetadata:
+    def test_defaults(self):
+        result = make_result()
+        assert result.seed is None
+        assert result.complete is True
+
+    def test_effective_seed_recorded_even_when_unseeded(self):
+        from repro.config import baseline_config
+        from repro.gpu.gpu import GPUSimulator
+        from repro.harness.runner import build_workload
+
+        config = baseline_config()
+        workload = build_workload("gups", config, scale=0.05, seed=None)
+        result = GPUSimulator(config, workload).run()
+        assert result.seed == workload.effective_seed
+        assert result.seed is not None
+        # Replaying from the recorded seed reproduces the run exactly.
+        replay_workload = build_workload(
+            "gups", config, scale=0.05, seed=result.seed
+        )
+        replay = GPUSimulator(config, replay_workload).run()
+        assert replay.fingerprint() == result.fingerprint()
+
+    def test_explicit_seed_passes_through(self):
+        from repro.config import baseline_config
+        from repro.gpu.gpu import GPUSimulator
+        from repro.harness.runner import build_workload
+
+        config = baseline_config()
+        workload = build_workload("gups", config, scale=0.05, seed=1234)
+        assert workload.effective_seed == 1234
+        result = GPUSimulator(config, workload).run()
+        assert result.seed == 1234
+
+
+class TestFingerprint:
+    def test_covers_counters_histograms_and_latencies(self):
+        result = make_result()
+        result.stats.counters.add("x.hits", 3)
+        result.stats.histogram("depth").record(4)
+        result.stats.latency("walk").record(queueing=10, access=20)
+        fingerprint = result.fingerprint()
+        assert ("x.hits", 3) in fingerprint["counters"]
+        assert fingerprint["histograms"]["depth"] == [(4, 1)]
+        assert fingerprint["latencies"]["walk"] == (
+            1,
+            [("access", 20), ("queueing", 10)],
+        )
+
+    def test_differs_on_any_stat_change(self):
+        first = make_result()
+        second = make_result()
+        assert first.fingerprint() == second.fingerprint()
+        second.stats.counters.add("anything")
+        assert first.fingerprint() != second.fingerprint()
+
+
+class TestRunDecomposition:
+    def make_sim(self):
+        from repro.config import baseline_config
+        from repro.gpu.gpu import GPUSimulator
+        from repro.harness.runner import build_workload
+
+        config = baseline_config()
+        return GPUSimulator(config, build_workload("gups", config, scale=0.05))
+
+    def test_advance_slices_match_monolithic_run(self):
+        reference = self.make_sim().run().fingerprint()
+        sim = self.make_sim()
+        while sim.advance(max_events=700):
+            pass
+        assert sim.run().fingerprint() == reference
+
+    def test_start_is_idempotent(self):
+        sim = self.make_sim()
+        sim.start()
+        pending = sim.engine.real_pending
+        sim.start()
+        assert sim.engine.real_pending == pending
+
+    def test_partial_result_mid_run_is_incomplete(self):
+        sim = self.make_sim()
+        sim.advance(max_events=1_000)
+        partial = sim.partial_result()
+        assert not partial.complete
+        assert partial.cycles == sim.engine.now
+        assert sim.warps_remaining > 0
+
+    def test_partial_result_after_drain_is_complete(self):
+        sim = self.make_sim()
+        while sim.advance(max_events=10_000):
+            pass
+        assert sim.partial_result().complete
