@@ -4,32 +4,49 @@ Every benchmark runs its experiment exactly once (simulations are
 deterministic; statistical repetition buys nothing), prints the rendered
 table so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 results report, and saves it under ``results/``.
+
+Benchmark sessions default the persistent result store to
+``results/.store`` (override or disable via ``REPRO_STORE``), so a
+re-run at the same ``REPRO_SCALE`` warm-starts every figure from disk
+instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.harness.runner import cache_info, clear_cache
-
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+# Opt benchmarks into the disk tier by default; an explicit REPRO_STORE
+# (including REPRO_STORE="") still wins.
+os.environ.setdefault("REPRO_STORE", str(RESULTS_DIR / ".store"))
+
+from repro.harness.runner import cache_info, clear_cache  # noqa: E402
 
 
 @pytest.fixture(autouse=True, scope="session")
 def drop_memo_cache():
     """Release memoised SimulationResults once the bench session ends.
 
-    Figure experiments share runs through the runner's LRU memo; the
-    telemetry line makes cache effectiveness visible in bench logs.
+    Figure experiments share runs through the runner's two-tier cache;
+    the telemetry line makes cache effectiveness visible in bench logs.
     """
     yield
     info = cache_info()
     print(
         f"\nrunner cache: {info['hits']} hits / {info['misses']} misses / "
-        f"{info['evictions']} evictions ({info['entries']} entries held)"
+        f"{info['evictions']} evictions ({info['entries']} entries held); "
+        f"{info['simulations']} simulations this session"
     )
+    if info["store_path"]:
+        print(
+            f"result store at {info['store_path']}: "
+            f"{info['disk_hits']} hits / {info['disk_misses']} misses / "
+            f"{info['disk_stores']} stores"
+        )
     clear_cache()
 
 

@@ -12,8 +12,10 @@ True
 """
 
 from repro.config import (
+    DEFAULT_CONFIGS,
     PAGE_SIZE_2M,
     PAGE_SIZE_64K,
+    ConfigRegistry,
     DistributorPolicy,
     GPUConfig,
     avatar_config,
@@ -24,7 +26,16 @@ from repro.config import (
     softwalker_config,
 )
 from repro.gpu.gpu import GPUSimulator, SimulationResult, SimulationTruncated
-from repro.harness.runner import build_workload, run_matrix, run_workload, speedups
+from repro.harness.pool import SweepPoint, make_point, matrix_points
+from repro.harness.runner import (
+    Runner,
+    build_workload,
+    default_runner,
+    run_matrix,
+    run_workload,
+    speedups,
+)
+from repro.harness.store import ResultStore
 from repro.harness.supervised import (
     SupervisedReport,
     SupervisionPolicy,
@@ -60,8 +71,10 @@ from repro.workloads.catalog import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_CONFIGS",
     "PAGE_SIZE_2M",
     "PAGE_SIZE_64K",
+    "ConfigRegistry",
     "DistributorPolicy",
     "GPUConfig",
     "avatar_config",
@@ -78,7 +91,13 @@ __all__ = [
     "Observability",
     "TraceRecorder",
     "validate_chrome_trace",
+    "ResultStore",
+    "Runner",
+    "SweepPoint",
     "build_workload",
+    "default_runner",
+    "make_point",
+    "matrix_points",
     "run_matrix",
     "run_workload",
     "speedups",

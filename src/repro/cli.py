@@ -3,9 +3,11 @@
 Commands:
 
 * ``list`` — the Table 4 benchmark catalog.
+* ``configs`` — the named-configuration registry with descriptions.
 * ``run`` — simulate one benchmark under one configuration.
 * ``compare`` — baseline vs a set of techniques on one benchmark.
 * ``figure`` — regenerate one of the paper's figures/tables by name.
+* ``sweep`` — run a config x benchmark matrix, optionally in parallel.
 * ``trace`` — record a run's request lifecycle as Chrome trace JSON.
 * ``metrics`` — sample time-series gauges during a run, export JSON.
 * ``chaos`` — run under a seeded fault plan with invariant auditing.
@@ -19,31 +21,18 @@ import sys
 from typing import Callable, Sequence
 
 from repro.analysis.report import format_table
-from repro.config import (
-    GPUConfig,
-    avatar_config,
-    baseline_config,
-    fshpt_config,
-    ideal_config,
-    nha_config,
-    softwalker_config,
-)
+from repro.config import DEFAULT_CONFIGS, baseline_config
 from repro.harness import experiments
-from repro.harness.runner import run_workload
+from repro.harness.pool import SweepPoint, matrix_points
+from repro.harness.runner import Runner, default_runner
+from repro.harness.store import fingerprint_digest
 from repro.obs import Observability, validate_chrome_trace
 from repro.workloads.catalog import ALL_ABBRS, CATALOG, get_spec
 
-#: Named configurations selectable from the command line.
-CONFIGS: dict[str, Callable[[], GPUConfig]] = {
-    "baseline": baseline_config,
-    "nha": nha_config,
-    "fshpt": fshpt_config,
-    "avatar": avatar_config,
-    "softwalker": softwalker_config,
-    "softwalker-no-intlb": lambda: softwalker_config(in_tlb_mshr_entries=0),
-    "hybrid": lambda: softwalker_config(hybrid=True),
-    "ideal": ideal_config,
-}
+#: Named configurations selectable from the command line — the shared
+#: :class:`~repro.config.ConfigRegistry`, so anything registered there
+#: (including from user scripts) is selectable here too.
+CONFIGS = DEFAULT_CONFIGS
 
 #: Figure/table experiments runnable by name.
 EXPERIMENTS: dict[str, Callable[..., experiments.ExperimentTable]] = {
@@ -86,6 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the benchmark catalog")
 
+    sub.add_parser("configs", help="list the named-configuration registry")
+
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     run_parser.add_argument("benchmark", choices=ALL_ABBRS)
     run_parser.add_argument(
@@ -102,6 +93,39 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--scale", type=float, default=None)
     figure_parser.add_argument(
         "--save", metavar="DIR", help="also write the table under DIR"
+    )
+    figure_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_JOBS or 1)",
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a config x benchmark matrix, optionally in parallel"
+    )
+    sweep_parser.add_argument(
+        "--configs",
+        default="baseline,softwalker",
+        help="comma-separated configuration names (see `repro configs`)",
+    )
+    sweep_parser.add_argument(
+        "--benchmarks",
+        default=",".join(ALL_ABBRS),
+        help="comma-separated benchmark abbreviations (default: all)",
+    )
+    sweep_parser.add_argument("--scale", type=float, default=None)
+    sweep_parser.add_argument("--seed", type=int, default=None)
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_JOBS or 1)",
+    )
+    sweep_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent result store directory (default: REPRO_STORE)",
     )
 
     trace_parser = sub.add_parser(
@@ -184,9 +208,24 @@ def cmd_list() -> int:
     return 0
 
 
+def cmd_configs() -> int:
+    rows = [
+        [variant.name, variant.description]
+        for variant in CONFIGS.variants()
+    ]
+    print(
+        format_table(
+            ["name", "description"],
+            rows,
+            title="Configuration registry",
+        )
+    )
+    return 0
+
+
 def cmd_run(benchmark: str, config_name: str, scale: float) -> int:
     config = CONFIGS[config_name]()
-    result = run_workload(config, benchmark, scale=scale)
+    result = default_runner().run(config, benchmark, scale=scale)
     spec = get_spec(benchmark)
     rows = [
         ["cycles", result.cycles],
@@ -212,10 +251,11 @@ def cmd_run(benchmark: str, config_name: str, scale: float) -> int:
 
 
 def cmd_compare(benchmark: str, scale: float) -> int:
-    base = run_workload(baseline_config(), benchmark, scale=scale)
+    runner = default_runner()
+    base = runner.run_cached(baseline_config(), benchmark, scale=scale)
     rows = [["baseline", base.cycles, "1.00x", f"{base.queueing_fraction:.0%}"]]
     for name in ("nha", "fshpt", "softwalker", "hybrid", "ideal"):
-        result = run_workload(CONFIGS[name](), benchmark, scale=scale)
+        result = runner.run_cached(CONFIGS[name](), benchmark, scale=scale)
         rows.append(
             [
                 name,
@@ -234,8 +274,12 @@ def cmd_compare(benchmark: str, scale: float) -> int:
     return 0
 
 
-def cmd_figure(name: str, scale: float | None, save: str | None) -> int:
+def cmd_figure(
+    name: str, scale: float | None, save: str | None, jobs: int | None = None
+) -> int:
     experiment = EXPERIMENTS[name]
+    if jobs is not None:
+        default_runner().jobs = jobs
     kwargs = {}
     if scale is not None and "scale" in experiment.__code__.co_varnames:
         kwargs["scale"] = scale
@@ -244,6 +288,81 @@ def cmd_figure(name: str, scale: float | None, save: str | None) -> int:
     if save:
         path = table.save(save)
         print(f"\nsaved to {path}")
+    return 0
+
+
+def cmd_sweep(
+    config_names: Sequence[str],
+    benchmark_names: Sequence[str],
+    scale: float | None,
+    seed: int | None,
+    jobs: int | None,
+    store: str | None,
+) -> int:
+    unknown = [name for name in config_names if name not in CONFIGS]
+    if unknown:
+        print(
+            f"error: unknown configuration(s) {', '.join(unknown)} — "
+            "see `repro configs`",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [name for name in benchmark_names if name not in ALL_ABBRS]
+    if unknown:
+        print(
+            f"error: unknown benchmark(s) {', '.join(unknown)} — "
+            "see `repro list`",
+            file=sys.stderr,
+        )
+        return 2
+
+    runner = Runner(store=store) if store else default_runner()
+    if jobs is not None:
+        runner.jobs = jobs
+    configs = {name: CONFIGS[name]() for name in config_names}
+    points = matrix_points(
+        configs.values(), benchmark_names, scale=scale, seed=seed
+    )
+    # First label wins for points shared between equal configurations.
+    names: dict[SweepPoint, str] = {}
+    for index, point in enumerate(points):
+        names.setdefault(point, config_names[index % len(config_names)])
+
+    def progress(point: SweepPoint, status: str, done: int, total: int) -> None:
+        print(f"[{done}/{total}] {names[point]}/{point.label()} — {status}")
+
+    by_point = runner.sweep(points, progress=progress)
+
+    rows = []
+    for index, point in enumerate(points):
+        label = config_names[index % len(config_names)]
+        result = by_point[point]
+        base = by_point[points[(index // len(config_names)) * len(config_names)]]
+        rows.append(
+            [
+                label,
+                point.benchmark,
+                result.cycles,
+                f"{result.speedup_over(base):.2f}x",
+                fingerprint_digest(result)[:12],
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "benchmark", "cycles", "speedup", "fingerprint"],
+            rows,
+            title=(
+                f"sweep: {len(config_names)} configs x "
+                f"{len(benchmark_names)} benchmarks, jobs={runner.jobs}"
+            ),
+        )
+    )
+    info = runner.cache_info()
+    print(
+        f"\ncache: {info['simulations']} simulations, "
+        f"{info['hits']} memory hits, {info['disk_hits']} disk hits"
+        + (f", store={info['store_path']}" if info["store_path"] else "")
+    )
     return 0
 
 
@@ -256,7 +375,7 @@ def cmd_trace(
 ) -> int:
     config = CONFIGS[config_name]()
     obs = Observability.tracing()
-    result = run_workload(config, benchmark, scale=scale, obs=obs)
+    result = default_runner().run(config, benchmark, scale=scale, obs=obs)
     validate_chrome_trace(obs.trace.chrome_trace())
     path = obs.trace.write_chrome(out)
     if jsonl:
@@ -294,7 +413,7 @@ def cmd_metrics(
         return 2
     config = CONFIGS[config_name]()
     obs = Observability.sampling(interval)
-    run_workload(config, benchmark, scale=scale, obs=obs)
+    default_runner().run(config, benchmark, scale=scale, obs=obs)
     path = obs.metrics.write_json(out)
     rows = [
         [name, f"{obs.metrics.mean(name):.2f}", f"{obs.metrics.peak(name):.2f}"]
@@ -420,12 +539,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "configs":
+        return cmd_configs()
     if args.command == "run":
         return cmd_run(args.benchmark, args.config, args.scale)
     if args.command == "compare":
         return cmd_compare(args.benchmark, args.scale)
     if args.command == "figure":
-        return cmd_figure(args.name, args.scale, args.save)
+        return cmd_figure(args.name, args.scale, args.save, args.jobs)
+    if args.command == "sweep":
+        return cmd_sweep(
+            [name.strip() for name in args.configs.split(",") if name.strip()],
+            [name.strip() for name in args.benchmarks.split(",") if name.strip()],
+            args.scale,
+            args.seed,
+            args.jobs,
+            args.store,
+        )
     if args.command == "trace":
         return cmd_trace(args.benchmark, args.config, args.scale, args.out, args.jsonl)
     if args.command == "metrics":

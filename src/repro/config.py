@@ -10,8 +10,8 @@ memory at 448 GB/s over 16 channels, a four-level radix page table with a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Iterator
 
 KB = 1024
 MB = 1024 * 1024
@@ -326,3 +326,124 @@ def ideal_config() -> GPUConfig:
         ),
         l2_tlb=replace(base.l2_tlb, mshr_entries=1 << 20),
     )
+
+
+def config_fingerprint(config: GPUConfig) -> dict:
+    """JSON-safe nested dict of every knob, for stable cache keys.
+
+    Two configs with equal fingerprints build identical machines, so
+    the persistent result store keys simulations on this (plus the
+    workload point) rather than on pickled objects.
+    """
+    return asdict(config)
+
+
+@dataclass(frozen=True)
+class ConfigVariant:
+    """One named entry of a :class:`ConfigRegistry`."""
+
+    name: str
+    factory: Callable[[], GPUConfig]
+    description: str = ""
+
+    def build(self) -> GPUConfig:
+        return self.factory()
+
+
+class ConfigRegistry:
+    """Name -> configuration-factory mapping shared by every front end.
+
+    The CLI, the experiment figures, and the sweep engine all resolve
+    named configurations here, so a variant registered once (say from a
+    user script) is immediately selectable everywhere.  Iteration and
+    ``registry[name]`` mimic the plain dict the CLI historically used.
+    """
+
+    def __init__(self) -> None:
+        self._variants: dict[str, ConfigVariant] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], GPUConfig],
+        *,
+        description: str = "",
+        replace_existing: bool = False,
+    ) -> ConfigVariant:
+        if not replace_existing and name in self._variants:
+            raise ValueError(f"configuration {name!r} is already registered")
+        variant = ConfigVariant(name=name, factory=factory, description=description)
+        self._variants[name] = variant
+        return variant
+
+    def get(self, name: str) -> GPUConfig:
+        """Build the named configuration (a fresh instance every call)."""
+        return self.variant(name).build()
+
+    def variant(self, name: str) -> ConfigVariant:
+        try:
+            return self._variants[name]
+        except KeyError:
+            known = ", ".join(sorted(self._variants))
+            raise KeyError(f"unknown configuration {name!r}; known: {known}") from None
+
+    def factory(self, name: str) -> Callable[[], GPUConfig]:
+        return self.variant(name).factory
+
+    def describe(self, name: str) -> str:
+        return self.variant(name).description
+
+    def variants(self) -> list[ConfigVariant]:
+        """Every registered variant, in registration order."""
+        return list(self._variants.values())
+
+    def names(self) -> list[str]:
+        return list(self._variants)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._variants
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._variants)
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __getitem__(self, name: str) -> Callable[[], GPUConfig]:
+        return self.factory(name)
+
+
+#: The default registry: every named configuration of the evaluation.
+DEFAULT_CONFIGS = ConfigRegistry()
+DEFAULT_CONFIGS.register(
+    "baseline", baseline_config,
+    description="32 hardware PTWs, 128 L2 TLB MSHRs, 64KB pages (Table 3)",
+)
+DEFAULT_CONFIGS.register(
+    "nha", nha_config,
+    description="baseline plus Neighborhood-Aware page-walk coalescing",
+)
+DEFAULT_CONFIGS.register(
+    "fshpt", fshpt_config,
+    description="baseline with a Fixed-Size Hashed Page Table",
+)
+DEFAULT_CONFIGS.register(
+    "avatar", avatar_config,
+    description="baseline plus Avatar-style TLB speculation",
+)
+DEFAULT_CONFIGS.register(
+    "softwalker", softwalker_config,
+    description="software page-table walk with In-TLB MSHR (the paper's design)",
+)
+DEFAULT_CONFIGS.register(
+    "softwalker-no-intlb", lambda: softwalker_config(in_tlb_mshr_entries=0),
+    description="SoftWalker with the In-TLB MSHR disabled",
+)
+DEFAULT_CONFIGS.register(
+    "hybrid", lambda: softwalker_config(hybrid=True),
+    description="hardware walkers kept, software walkers absorb the overflow",
+)
+DEFAULT_CONFIGS.register(
+    "ideal", ideal_config,
+    description="unbounded walkers and MSHRs (the upper-bound study)",
+)

@@ -92,6 +92,44 @@ class SimulationResult:
         }
 
     # ------------------------------------------------------------------
+    # Persistence (the sweep engine's result store and worker transport)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form that round-trips through :meth:`from_dict`.
+
+        The contract the persistent result store and the parallel sweep
+        workers both rely on: ``from_dict(r.to_dict()).fingerprint()``
+        equals ``r.fingerprint()``.
+        """
+        return {
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "pw_instructions": self.pw_instructions,
+            "num_sms": self.num_sms,
+            "stall_cycles": self.stall_cycles,
+            "memory_wait_cycles": self.memory_wait_cycles,
+            "seed": self.seed,
+            "complete": self.complete,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        return cls(
+            workload=data["workload"],
+            cycles=int(data["cycles"]),
+            instructions=int(data["instructions"]),
+            pw_instructions=int(data["pw_instructions"]),
+            stats=StatsRegistry.from_dict(data["stats"]),
+            num_sms=int(data["num_sms"]),
+            stall_cycles=int(data["stall_cycles"]),
+            memory_wait_cycles=int(data["memory_wait_cycles"]),
+            seed=None if data["seed"] is None else int(data["seed"]),
+            complete=bool(data["complete"]),
+        )
+
+    # ------------------------------------------------------------------
     # Headline metrics
     # ------------------------------------------------------------------
     def speedup_over(self, baseline: "SimulationResult") -> float:

@@ -1,12 +1,26 @@
-"""Experiment harness: runners and per-figure experiment definitions."""
+"""Experiment harness: runners, sweep engine, and figure definitions."""
 
+from repro.harness.pool import (
+    SweepPoint,
+    dedupe_points,
+    default_jobs,
+    make_point,
+    matrix_points,
+    run_sweep,
+)
 from repro.harness.runner import (
+    Runner,
     build_workload,
+    cache_info,
+    clear_cache,
+    default_runner,
     default_scale,
+    run_cached,
     run_matrix,
     run_workload,
     speedups,
 )
+from repro.harness.store import ResultStore, default_store_path
 from repro.harness.supervised import (
     SupervisedReport,
     SupervisionPolicy,
@@ -15,9 +29,22 @@ from repro.harness.supervised import (
 )
 
 __all__ = [
+    "Runner",
+    "SweepPoint",
+    "ResultStore",
     "build_workload",
+    "cache_info",
+    "clear_cache",
+    "default_jobs",
+    "default_runner",
     "default_scale",
+    "default_store_path",
+    "dedupe_points",
+    "make_point",
+    "matrix_points",
+    "run_cached",
     "run_matrix",
+    "run_sweep",
     "run_workload",
     "speedups",
     "SupervisedReport",

@@ -9,13 +9,21 @@ report (see EXPERIMENTS.md for paper-vs-measured commentary).
 Heavy sweeps run over a representative irregular subset
 (:data:`SWEEP_ABBRS`) instead of all twelve irregular benchmarks; the
 per-benchmark figures (16-20, 25) use the full suite.
+
+Every figure first *declares* its sweep matrix — the full set of
+(config, benchmark) points it needs — and hands it to the default
+:class:`~repro.harness.runner.Runner` via :func:`_prefetch`.  The
+runner deduplicates points shared between figures, executes misses in
+parallel when ``--jobs``/``REPRO_JOBS`` allow, and serves repeats from
+its two-tier (memory + disk) cache; the row-assembly loops below then
+hit the warm cache exclusively.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.analysis.area import (
     PTWAreaModel,
@@ -34,7 +42,8 @@ from repro.config import (
     softwalker_config,
 )
 from repro.gpu.gpu import GPUSimulator, SimulationResult
-from repro.harness.runner import run_cached
+from repro.harness.pool import SweepPoint, matrix_points
+from repro.harness.runner import Runner, default_runner
 from repro.workloads.base import TraceWorkload
 from repro.workloads.catalog import (
     ALL_ABBRS,
@@ -85,6 +94,28 @@ class ExperimentTable:
             if row[0] == key:
                 return row
         raise KeyError(key)
+
+
+def _prefetch(
+    configs: Iterable[GPUConfig],
+    abbrs: Iterable[str],
+    *,
+    scale: float | None,
+    footprint_scale: float = 1.0,
+    extra: Iterable[SweepPoint] = (),
+) -> Runner:
+    """Declare a figure's sweep matrix and execute it up front.
+
+    Returns the default runner with every declared point resolved in
+    its cache, so the figure's row-assembly loops are pure lookups.
+    """
+    runner = default_runner()
+    points = matrix_points(
+        configs, abbrs, scale=scale, footprint_scale=footprint_scale
+    )
+    points.extend(extra)
+    runner.sweep(points)
+    return runner
 
 
 # ----------------------------------------------------------------------
@@ -200,16 +231,20 @@ def fig05_ptw_scaling(
         title="Figure 5: speedup with increasing PTWs (norm. to 32 PTWs)",
         headers=headers,
     )
+    sweep_configs = [baseline_config()] + [
+        baseline_config() if n == 32 else scaled_ptw_config(n) for n in ptw_counts
+    ] + [ideal_config()]
+    runner = _prefetch(sweep_configs, abbrs, scale=scale)
     per_config: dict[str, list[float]] = {h: [] for h in headers[1:]}
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
         row: list = [abbr]
         for n in ptw_counts:
             config = baseline_config() if n == 32 else scaled_ptw_config(n)
-            speedup = run_cached(config, abbr, scale=scale).speedup_over(base)
+            speedup = runner.run_cached(config, abbr, scale=scale).speedup_over(base)
             row.append(speedup)
             per_config[f"{n} PTWs"].append(speedup)
-        ideal = run_cached(ideal_config(), abbr, scale=scale).speedup_over(base)
+        ideal = runner.run_cached(ideal_config(), abbr, scale=scale).speedup_over(base)
         row.append(ideal)
         per_config["Ideal"].append(ideal)
         table.rows.append(row)
@@ -239,16 +274,39 @@ def fig06_prior_techniques(
         title="Figure 6: PTW contention persists under NHA and 2MB pages",
         headers=["technique"] + [f"{n} PTWs" for n in ptw_counts],
     )
+    nha_configs = [nha_config()] + [
+        nha_config()
+        if n == 32
+        else scaled_ptw_config(n).with_ptw(nha_coalescing=True)
+        for n in ptw_counts
+    ]
+    large_configs = [
+        (baseline_config() if n == 32 else scaled_ptw_config(n)).with_page_size(
+            PAGE_SIZE_2M
+        )
+        for n in ptw_counts
+    ]
+    runner = _prefetch(
+        nha_configs,
+        abbrs,
+        scale=scale,
+        extra=matrix_points(
+            large_configs,
+            abbrs,
+            scale=scale,
+            footprint_scale=LARGE_PAGE_FOOTPRINT_SCALE,
+        ),
+    )
     # (a) NHA + scaling.
     speedups_nha: dict[int, list[float]] = {n: [] for n in ptw_counts}
     for abbr in abbrs:
-        nha_base = run_cached(nha_config(), abbr, scale=scale)
+        nha_base = runner.run_cached(nha_config(), abbr, scale=scale)
         for n in ptw_counts:
             config = nha_config() if n == 32 else scaled_ptw_config(n).with_ptw(
                 nha_coalescing=True
             )
             speedups_nha[n].append(
-                run_cached(config, abbr, scale=scale).speedup_over(nha_base)
+                runner.run_cached(config, abbr, scale=scale).speedup_over(nha_base)
             )
     table.rows.append(
         ["NHA coalescing (a)"] + [geomean(speedups_nha[n]) for n in ptw_counts]
@@ -256,7 +314,7 @@ def fig06_prior_techniques(
     # (b) 2MB pages + scaling (footprints scaled past L2 TLB coverage).
     speedups_2m: dict[int, list[float]] = {n: [] for n in ptw_counts}
     for abbr in abbrs:
-        base_2m = run_cached(
+        base_2m = runner.run_cached(
             baseline_config().with_page_size(PAGE_SIZE_2M),
             abbr,
             scale=scale,
@@ -267,7 +325,7 @@ def fig06_prior_techniques(
                 baseline_config() if n == 32 else scaled_ptw_config(n)
             ).with_page_size(PAGE_SIZE_2M)
             speedups_2m[n].append(
-                run_cached(
+                runner.run_cached(
                     config,
                     abbr,
                     scale=scale,
@@ -301,6 +359,10 @@ def fig07_latency_breakdown(
             "queueing share",
         ],
     )
+    sweep_configs = [
+        baseline_config() if n == 32 else scaled_ptw_config(n) for n in ptw_counts
+    ] + [ideal_config()]
+    runner = _prefetch(sweep_configs, abbrs, scale=scale)
     for n in list(ptw_counts) + ["ideal"]:
         if n == "ideal":
             config = ideal_config()
@@ -308,7 +370,7 @@ def fig07_latency_breakdown(
             config = baseline_config() if n == 32 else scaled_ptw_config(n)
         queueing, access = [], []
         for abbr in abbrs:
-            result = run_cached(config, abbr, scale=scale)
+            result = runner.run_cached(config, abbr, scale=scale)
             queueing.append(result.walk_queueing)
             access.append(result.walk_access)
         q = sum(queueing) / len(queueing)
@@ -328,8 +390,9 @@ def fig08_stall_breakdown(
         title="Figure 8: warp scheduler cycles (baseline)",
         headers=["workload", "category", "issued", "memory/scoreboard stall"],
     )
+    runner = _prefetch([baseline_config()], abbrs, scale=scale)
     for abbr in abbrs:
-        result = run_cached(baseline_config(), abbr, scale=scale)
+        result = runner.run_cached(baseline_config(), abbr, scale=scale)
         table.rows.append(
             [
                 abbr,
@@ -366,31 +429,43 @@ def fig12_ptw_mshr_scaling(
         headers=["scaling factor", "PTWs only", "MSHRs only", "PTWs+MSHRs"],
     )
     base_config = with_page(baseline_config())
-    for factor in factors:
-        ptws_only, mshrs_only, both = [], [], []
-        for abbr in abbrs:
-            base = run_cached(
-                base_config, abbr, scale=scale, footprint_scale=footprint_scale
-            )
-            cfg_ptw = with_page(
+
+    def factor_configs(factor: int) -> tuple[GPUConfig, GPUConfig, GPUConfig]:
+        return (
+            with_page(
                 baseline_config().with_ptw(
                     num_walkers=32 * factor, pwb_entries=64 * factor
                 )
+            ),
+            with_page(scaled_mshr_config(128 * factor)),
+            with_page(scaled_ptw_config(32 * factor)),
+        )
+
+    sweep_configs = [base_config] + [
+        config for factor in factors for config in factor_configs(factor)
+    ]
+    runner = _prefetch(
+        sweep_configs, abbrs, scale=scale, footprint_scale=footprint_scale
+    )
+    for factor in factors:
+        ptws_only, mshrs_only, both = [], [], []
+        cfg_ptw, cfg_mshr, cfg_both = factor_configs(factor)
+        for abbr in abbrs:
+            base = runner.run_cached(
+                base_config, abbr, scale=scale, footprint_scale=footprint_scale
             )
-            cfg_mshr = with_page(scaled_mshr_config(128 * factor))
-            cfg_both = with_page(scaled_ptw_config(32 * factor))
             ptws_only.append(
-                run_cached(
+                runner.run_cached(
                     cfg_ptw, abbr, scale=scale, footprint_scale=footprint_scale
                 ).speedup_over(base)
             )
             mshrs_only.append(
-                run_cached(
+                runner.run_cached(
                     cfg_mshr, abbr, scale=scale, footprint_scale=footprint_scale
                 ).speedup_over(base)
             )
             both.append(
-                run_cached(
+                runner.run_cached(
                     cfg_both, abbr, scale=scale, footprint_scale=footprint_scale
                 ).speedup_over(base)
             )
@@ -417,12 +492,15 @@ def fig16_overall_speedup(
         title="Figure 16: speedup over the 32-PTW baseline",
         headers=["workload"] + list(configs),
     )
+    runner = _prefetch(
+        [baseline_config(), *configs.values()], abbrs, scale=scale
+    )
     per_config: dict[str, list[float]] = {label: [] for label in configs}
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
         row: list = [abbr]
         for label, config in configs.items():
-            speedup = run_cached(config, abbr, scale=scale).speedup_over(base)
+            speedup = runner.run_cached(config, abbr, scale=scale).speedup_over(base)
             row.append(speedup)
             per_config[label].append(speedup)
         table.rows.append(row)
@@ -449,10 +527,13 @@ def fig17_mshr_failures(
         title="Figure 17: L2 TLB MSHR failure reduction with In-TLB MSHR",
         headers=["workload", "baseline failures", "SoftWalker failures", "reduction"],
     )
+    runner = _prefetch(
+        [baseline_config(), softwalker_config()], abbrs, scale=scale
+    )
     reductions = []
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
-        soft = run_cached(softwalker_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
+        soft = runner.run_cached(softwalker_config(), abbr, scale=scale)
         before, after = base.mshr_failures, soft.mshr_failures
         reduction = (before - after) / before if before else 0.0
         reductions.append(reduction)
@@ -478,12 +559,15 @@ def fig18_walk_latency(
         headers=["workload", "baseline (cycles)", "baseline queue share"]
         + [f"{label} (norm.)" for label in configs],
     )
+    runner = _prefetch(
+        [baseline_config(), *configs.values()], abbrs, scale=scale
+    )
     normalized: dict[str, list[float]] = {label: [] for label in configs}
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
         row: list = [abbr, base.walk_latency, base.queueing_fraction]
         for label, config in configs.items():
-            result = run_cached(config, abbr, scale=scale)
+            result = runner.run_cached(config, abbr, scale=scale)
             norm = result.walk_latency / base.walk_latency if base.walk_latency else 0
             row.append(norm)
             normalized[label].append(norm)
@@ -508,10 +592,13 @@ def fig19_stall_reduction(
         title="Figure 19: stall-cycle reduction vs baseline",
         headers=["workload", "category", "baseline stalls", "SoftWalker stalls", "reduction"],
     )
+    runner = _prefetch(
+        [baseline_config(), softwalker_config()], abbrs, scale=scale
+    )
     irregular_reductions = []
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
-        soft = run_cached(softwalker_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
+        soft = runner.run_cached(softwalker_config(), abbr, scale=scale)
         reduction = (
             (base.stall_cycles - soft.stall_cycles) / base.stall_cycles
             if base.stall_cycles
@@ -540,9 +627,12 @@ def fig20_l2_miss_rate(
         title="Figure 20: L2 data cache miss rate",
         headers=["workload", "baseline", "SoftWalker", "delta"],
     )
+    runner = _prefetch(
+        [baseline_config(), softwalker_config()], abbrs, scale=scale
+    )
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
-        soft = run_cached(softwalker_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
+        soft = runner.run_cached(softwalker_config(), abbr, scale=scale)
         table.rows.append(
             [
                 abbr,
@@ -572,12 +662,24 @@ def fig15_area_tradeoff(
         title="Figure 15: speedup vs area overhead (norm. to 32 PTWs / 1 port)",
         headers=["configuration", "PWB ports", "relative area", "speedup"],
     )
+    runner = _prefetch(
+        [baseline_config(), softwalker_config()]
+        + [
+            scaled_ptw_config(n, pwb_ports=ports)
+            for n in ptw_counts
+            for ports in port_counts
+        ],
+        abbrs,
+        scale=scale,
+    )
 
     def mean_speedup(config: GPUConfig) -> float:
         values = []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            values.append(run_cached(config, abbr, scale=scale).speedup_over(base))
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            values.append(
+                runner.run_cached(config, abbr, scale=scale).speedup_over(base)
+            )
         return geomean(values)
 
     for n in ptw_counts:
@@ -618,12 +720,15 @@ def fig21_iso_area(
         title="Figure 21: iso-area comparison (norm. to 32-PTW baseline)",
         headers=["workload"] + list(configs),
     )
+    runner = _prefetch(
+        [baseline_config(), *configs.values()], abbrs, scale=scale
+    )
     per_config: dict[str, list[float]] = {label: [] for label in configs}
     for abbr in abbrs:
-        base = run_cached(baseline_config(), abbr, scale=scale)
+        base = runner.run_cached(baseline_config(), abbr, scale=scale)
         row: list = [abbr]
         for label, config in configs.items():
-            speedup = run_cached(config, abbr, scale=scale).speedup_over(base)
+            speedup = runner.run_cached(config, abbr, scale=scale).speedup_over(base)
             row.append(speedup)
             per_config[label].append(speedup)
         table.rows.append(row)
@@ -647,14 +752,20 @@ def fig22_l2tlb_latency(
         title="Figure 22: SoftWalker speedup vs L2 TLB latency",
         headers=["L2 TLB latency (cycles)", "speedup over baseline"],
     )
+    runner = _prefetch(
+        [baseline_config()]
+        + [softwalker_config().with_l2_tlb(latency=latency) for latency in latencies],
+        abbrs,
+        scale=scale,
+    )
     for latency in latencies:
         speedups = []
         for abbr in abbrs:
             # The paper normalizes every point to the *default* baseline:
             # the sweep isolates SoftWalker's SM<->L2TLB communication
             # cost, which scales with this latency.
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            soft = run_cached(
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            soft = runner.run_cached(
                 softwalker_config().with_l2_tlb(latency=latency), abbr, scale=scale
             )
             speedups.append(soft.speedup_over(base))
@@ -681,15 +792,24 @@ def fig23_pt_latency(
             "queueing delay reduction",
         ],
     )
+    runner = _prefetch(
+        [
+            config().derive(fixed_pt_level_latency=latency)
+            for latency in latencies
+            for config in (baseline_config, softwalker_config)
+        ],
+        abbrs,
+        scale=scale,
+    )
     for latency in latencies:
         speedups, reductions = [], []
         for abbr in abbrs:
-            base = run_cached(
+            base = runner.run_cached(
                 baseline_config().derive(fixed_pt_level_latency=latency),
                 abbr,
                 scale=scale,
             )
-            soft = run_cached(
+            soft = runner.run_cached(
                 softwalker_config().derive(fixed_pt_level_latency=latency),
                 abbr,
                 scale=scale,
@@ -718,11 +838,17 @@ def fig24_intlb_capacity(
         title="Figure 24: SoftWalker speedup vs max In-TLB MSHR entries",
         headers=["In-TLB MSHR entries", "speedup over baseline"],
     )
+    runner = _prefetch(
+        [baseline_config()]
+        + [softwalker_config(in_tlb_mshr_entries=c) for c in capacities],
+        abbrs,
+        scale=scale,
+    )
     for capacity in capacities:
         speedups = []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            soft = run_cached(
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            soft = runner.run_cached(
                 softwalker_config(in_tlb_mshr_entries=capacity), abbr, scale=scale
             )
             speedups.append(soft.speedup_over(base))
@@ -741,15 +867,24 @@ def fig25_large_pages(
         title="Figure 25: speedup over baseline with 2MB pages",
         headers=["workload", "SoftWalker speedup"],
     )
+    runner = _prefetch(
+        [
+            baseline_config().with_page_size(PAGE_SIZE_2M),
+            softwalker_config().with_page_size(PAGE_SIZE_2M),
+        ],
+        abbrs,
+        scale=scale,
+        footprint_scale=LARGE_PAGE_FOOTPRINT_SCALE,
+    )
     speedups = []
     for abbr in abbrs:
-        base = run_cached(
+        base = runner.run_cached(
             baseline_config().with_page_size(PAGE_SIZE_2M),
             abbr,
             scale=scale,
             footprint_scale=LARGE_PAGE_FOOTPRINT_SCALE,
         )
-        soft = run_cached(
+        soft = runner.run_cached(
             softwalker_config().with_page_size(PAGE_SIZE_2M),
             abbr,
             scale=scale,
@@ -775,11 +910,17 @@ def fig26_distributor(
         title="Figure 26: SoftWalker speedup by distributor policy",
         headers=["policy", "speedup over baseline"],
     )
+    runner = _prefetch(
+        [baseline_config()]
+        + [softwalker_config(distributor_policy=p) for p in DistributorPolicy.ALL],
+        abbrs,
+        scale=scale,
+    )
     for policy in DistributorPolicy.ALL:
         speedups = []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            soft = run_cached(
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            soft = runner.run_cached(
                 softwalker_config(distributor_policy=policy), abbr, scale=scale
             )
             speedups.append(soft.speedup_over(base))
@@ -858,9 +999,10 @@ def table4_catalog(
             "paper required PTWs",
         ],
     )
+    runner = _prefetch([baseline_config()], abbrs, scale=scale)
     for abbr in abbrs:
         spec = get_spec(abbr)
-        result = run_cached(baseline_config(), abbr, scale=scale)
+        result = runner.run_cached(baseline_config(), abbr, scale=scale)
         table.rows.append(
             [
                 abbr,
@@ -896,6 +1038,7 @@ def ablation_pwb_scheduling(
     )
     sm_batch = baseline_config().with_ptw(pwb_policy="sm_batch")
     soft = softwalker_config()
+    runner = _prefetch([baseline_config(), sm_batch, soft], abbrs, scale=scale)
     for label, config in (
         ("fcfs", baseline_config()),
         ("sm_batch (PW scheduling)", sm_batch),
@@ -903,8 +1046,10 @@ def ablation_pwb_scheduling(
     ):
         speedups = []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            speedups.append(run_cached(config, abbr, scale=scale).speedup_over(base))
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            speedups.append(
+                runner.run_cached(config, abbr, scale=scale).speedup_over(base)
+            )
         table.rows.append([label, geomean(speedups)])
     table.notes.append(
         "scheduling reorders walks but adds no throughput: expect ~1x, "
@@ -923,14 +1068,25 @@ def ablation_simt_lockstep(
         title="Ablation: PW-warp thread model",
         headers=["execution model", "speedup over baseline"],
     )
+    runner = _prefetch(
+        [
+            baseline_config(),
+            softwalker_config(),
+            softwalker_config().with_softwalker(simt_lockstep=True),
+        ],
+        abbrs,
+        scale=scale,
+    )
     for label, config in (
         ("independent threads (paper)", softwalker_config()),
         ("SIMT lockstep", softwalker_config().with_softwalker(simt_lockstep=True)),
     ):
         speedups = []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            speedups.append(run_cached(config, abbr, scale=scale).speedup_over(base))
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            speedups.append(
+                runner.run_cached(config, abbr, scale=scale).speedup_over(base)
+            )
         table.rows.append([label, geomean(speedups)])
     table.notes.append(
         "memory divergence makes lockstep warps wait for their slowest "
@@ -949,14 +1105,19 @@ def ablation_pwc_depth(
         title="Ablation: Page Walk Cache depth (baseline hardware walkers)",
         headers=["PWC caches down to", "speedup over default", "mean walk access (cycles)"],
     )
+    runner = _prefetch(
+        [baseline_config(), baseline_config().with_ptw(pwc_min_level=1)],
+        abbrs,
+        scale=scale,
+    )
     for label, config in (
         ("level 2 (PDE cache, default)", baseline_config()),
         ("level 1 (leaf pointers)", baseline_config().with_ptw(pwc_min_level=1)),
     ):
         speedups, accesses = [], []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            result = run_cached(config, abbr, scale=scale)
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            result = runner.run_cached(config, abbr, scale=scale)
             speedups.append(result.speedup_over(base))
             accesses.append(result.walk_access)
         table.rows.append(
@@ -995,11 +1156,16 @@ def extension_baselines(
         title="Section 2.3 techniques vs SoftWalker (irregular subset)",
         headers=["technique", "speedup over baseline"],
     )
+    runner = _prefetch(
+        [baseline_config(), *configs.values()], abbrs, scale=scale
+    )
     for label, config in configs.items():
         speedups = []
         for abbr in abbrs:
-            base = run_cached(baseline_config(), abbr, scale=scale)
-            speedups.append(run_cached(config, abbr, scale=scale).speedup_over(base))
+            base = runner.run_cached(baseline_config(), abbr, scale=scale)
+            speedups.append(
+                runner.run_cached(config, abbr, scale=scale).speedup_over(base)
+            )
         table.rows.append([label, geomean(speedups)])
     table.notes.append(
         "irregular access + scattered frames defeat reach/speculation "

@@ -4,24 +4,46 @@ The trace for a given benchmark is deterministic in its name, so every
 configuration of a sweep replays the identical workload — speedups are
 cycles ratios over the same work.
 
-``REPRO_SCALE`` (float, default 1.0) scales trace length globally:
-tests run at tiny scales, benches at 1.0, and patient users can crank
-it up for smoother numbers.
+The one front door is :class:`Runner`: it owns the trace scale, the
+parallel worker count, the two-tier result cache (an in-memory LRU over
+the persistent on-disk :class:`~repro.harness.store.ResultStore`), and
+per-run observability.  The historical module-level helpers
+(:func:`run_workload`, :func:`run_cached`, :func:`run_matrix`) survive
+as deprecation shims that delegate to a process-wide default instance.
 
-``REPRO_TRACE`` (directory path) turns on full observability for every
-:func:`run_workload` call, writing one Chrome trace + metrics JSON pair
-per run into the directory.  ``REPRO_CACHE_ENTRIES`` (int, default 128)
-bounds the :func:`run_cached` memo.
+Environment knobs (all read by the default instance):
+
+* ``REPRO_SCALE`` (float, default 1.0) scales trace length globally:
+  tests run at tiny scales, benches at 1.0, and patient users can crank
+  it up for smoother numbers.
+* ``REPRO_JOBS`` (int, default 1) parallelises sweeps across processes.
+* ``REPRO_STORE`` (directory) enables the persistent result store, so
+  repeated figure/benchmark invocations warm-start from disk.
+* ``REPRO_CACHE_ENTRIES`` (int, default 128) bounds the in-memory LRU.
+* ``REPRO_TRACE`` (directory) turns on full observability for every
+  run, writing one Chrome trace + metrics JSON pair per run into the
+  directory (filenames claimed atomically, so parallel workers never
+  overwrite each other's traces).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import warnings
 from collections import OrderedDict
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.config import GPUConfig
 from repro.gpu.gpu import GPUSimulator, SimulationResult
+from repro.harness.pool import (
+    SweepPoint,
+    default_jobs,
+    make_point,
+    matrix_points,
+    run_sweep,
+)
+from repro.harness.store import ResultStore, default_store_path
 from repro.obs import MetricsRegistry, Observability
 from repro.workloads.base import TraceWorkload, WorkloadSpec
 from repro.workloads.catalog import get_spec
@@ -78,41 +100,21 @@ def _export_env_trace(obs: Observability, benchmark_abbr: str) -> None:
     target = os.environ.get(_TRACE_ENV)
     if not target:
         return
+    # Claim the next free slot with O_EXCL atomic creation: a plain
+    # exists() probe races under parallel sweep workers (two processes
+    # both see "-3 free" and one silently overwrites the other).
     n = 0
     while True:
         stem = os.path.join(target, f"{benchmark_abbr}-{n}")
-        if not os.path.exists(stem + ".trace.json"):
-            break
-        n += 1
-    obs.trace.write_chrome(stem + ".trace.json")
+        try:
+            handle = open(stem + ".trace.json", "x", encoding="utf-8")
+        except FileExistsError:
+            n += 1
+            continue
+        break
+    with handle:
+        json.dump(obs.trace.chrome_trace(), handle)
     obs.metrics.write_json(stem + ".metrics.json")
-
-
-def run_workload(
-    config: GPUConfig,
-    benchmark: str | WorkloadSpec,
-    *,
-    scale: float | None = None,
-    footprint_scale: float = 1.0,
-    seed: int | None = None,
-    obs: Observability | None = None,
-) -> SimulationResult:
-    """Build the benchmark's trace under ``config`` and simulate it."""
-    workload = build_workload(
-        benchmark,
-        config,
-        scale=scale,
-        footprint_scale=footprint_scale,
-        seed=seed,
-    )
-    env_obs = None
-    if obs is None:
-        env_obs = _env_observability()
-        obs = env_obs
-    result = GPUSimulator(config, workload, obs=obs).run()
-    if env_obs is not None:
-        _export_env_trace(env_obs, workload.spec.abbr)
-    return result
 
 
 def _cache_capacity() -> int:
@@ -125,17 +127,299 @@ def _cache_capacity() -> int:
     return capacity
 
 
-#: Memoised results: identical (config, benchmark, scale) runs are
-#: deterministic, so figures sharing configurations reuse each other's
-#: simulations within one process.  Bounded LRU (``REPRO_CACHE_ENTRIES``)
-#: so long sweeps don't pin every SimulationResult in memory.
-_CACHE: OrderedDict[tuple, SimulationResult] = OrderedDict()
+class Runner:
+    """Facade over simulation execution: scale, caching, parallelism.
 
-#: Process-wide cache telemetry, visible via :func:`cache_info`.
-cache_metrics = MetricsRegistry()
-_cache_hits = cache_metrics.counter("runner.cache.hits")
-_cache_misses = cache_metrics.counter("runner.cache.misses")
-_cache_evictions = cache_metrics.counter("runner.cache.evictions")
+    One object owns everything ``run_workload`` / ``run_cached`` /
+    ``run_matrix`` used to split between free functions and module
+    globals:
+
+    * ``scale`` — default trace scale (None defers to ``REPRO_SCALE``).
+    * ``jobs`` — default sweep parallelism (None defers to
+      ``REPRO_JOBS``).
+    * two-tier result cache — a bounded in-memory LRU in front of the
+      persistent :class:`ResultStore` (None defers to ``REPRO_STORE``;
+      pass a path or a store to pin one).
+    * observability — explicit ``obs=`` per call, else the
+      ``REPRO_TRACE`` bundle.
+
+    The memory tier memoises object identity (two equal lookups return
+    the *same* ``SimulationResult``); the disk tier persists across
+    processes, keyed by the point's full input fingerprint including
+    the effective scale and seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        scale: float | None = None,
+        jobs: int | None = None,
+        store: ResultStore | str | os.PathLike | None = None,
+        cache_entries: int | None = None,
+    ) -> None:
+        self.scale = scale
+        self._jobs = jobs
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self._store = store
+        self._store_pinned = store is not None
+        self._store_env_path: str | None = None
+        self._cache_entries = cache_entries
+        self._cache: OrderedDict[SweepPoint, SimulationResult] = OrderedDict()
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("runner.cache.hits")
+        self._misses = self.metrics.counter("runner.cache.misses")
+        self._evictions = self.metrics.counter("runner.cache.evictions")
+        self._simulations = self.metrics.counter("runner.simulations")
+
+    # ------------------------------------------------------------------
+    # Policy resolution
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        return self._jobs if self._jobs is not None else default_jobs()
+
+    @jobs.setter
+    def jobs(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise ValueError(f"jobs must be >= 1, got {value}")
+        self._jobs = value
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The disk tier, tracking ``REPRO_STORE`` unless pinned."""
+        if self._store_pinned:
+            return self._store
+        path = default_store_path()
+        if path is None:
+            self._store = None
+        elif self._store is None or path != self._store_env_path:
+            self._store = ResultStore(path)
+        self._store_env_path = path
+        return self._store
+
+    def _capacity(self) -> int:
+        if self._cache_entries is not None:
+            return self._cache_entries
+        return _cache_capacity()
+
+    def _effective_scale(self, scale: float | None) -> float | None:
+        if scale is not None:
+            return scale
+        return self.scale  # None falls through to default_scale() later
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        config: GPUConfig,
+        benchmark: str | WorkloadSpec,
+        *,
+        scale: float | None = None,
+        footprint_scale: float = 1.0,
+        seed: int | None = None,
+        obs: Observability | None = None,
+    ) -> SimulationResult:
+        """Build the benchmark's trace under ``config`` and simulate it.
+
+        Always executes (no cache tiers); use :meth:`run_cached` or
+        :meth:`sweep` for memoised paths.
+        """
+        workload = build_workload(
+            benchmark,
+            config,
+            scale=self._effective_scale(scale),
+            footprint_scale=footprint_scale,
+            seed=seed,
+        )
+        env_obs = None
+        if obs is None:
+            env_obs = _env_observability()
+            obs = env_obs
+        result = GPUSimulator(config, workload, obs=obs).run()
+        if env_obs is not None:
+            _export_env_trace(env_obs, workload.spec.abbr)
+        return result
+
+    def run_cached(
+        self,
+        config: GPUConfig,
+        benchmark: str | WorkloadSpec,
+        *,
+        scale: float | None = None,
+        footprint_scale: float = 1.0,
+        seed: int | None = None,
+    ) -> SimulationResult:
+        """Like :meth:`run`, but served through both cache tiers."""
+        point = make_point(
+            config,
+            benchmark,
+            scale=self._effective_scale(scale),
+            footprint_scale=footprint_scale,
+            seed=seed,
+        )
+        cached = self._lookup(point)
+        if cached is not None:
+            return cached
+        result = self.run(
+            config,
+            point.benchmark,
+            scale=point.scale,
+            footprint_scale=point.footprint_scale,
+            seed=point.seed,
+        )
+        self._publish(point, result)
+        return result
+
+    def sweep(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        jobs: int | None = None,
+        progress=None,
+    ) -> dict[SweepPoint, SimulationResult]:
+        """Execute a sweep matrix through the cache tiers.
+
+        Points are deduplicated before dispatch; misses run across
+        ``jobs`` worker processes (default: the runner's ``jobs``).
+        Results are fingerprint-identical to running every point
+        serially, and every fresh simulation is published to both cache
+        tiers, so re-running the same sweep is all warm-start.
+        """
+        return run_sweep(
+            points,
+            jobs=jobs if jobs is not None else self.jobs,
+            lookup=self._lookup,
+            publish=self._publish,
+            progress=progress,
+        )
+
+    def run_matrix(
+        self,
+        configs: Mapping[str, GPUConfig],
+        benchmarks: Iterable[str | WorkloadSpec],
+        *,
+        scale: float | None = None,
+        footprint_scale: float = 1.0,
+        jobs: int | None = None,
+    ) -> dict[tuple[str, str], SimulationResult]:
+        """Every (config, benchmark) pair; keys are (config_label, abbr)."""
+        labels = list(configs)
+        points = matrix_points(
+            configs.values(),
+            benchmarks,
+            scale=self._effective_scale(scale),
+            footprint_scale=footprint_scale,
+        )
+        by_point = self.sweep(points, jobs=jobs)
+        results: dict[tuple[str, str], SimulationResult] = {}
+        for index, point in enumerate(points):
+            label = labels[index % len(labels)]
+            results[(label, point.benchmark)] = by_point[point]
+        return results
+
+    # ------------------------------------------------------------------
+    # Cache tiers
+    # ------------------------------------------------------------------
+    def _lookup(self, point: SweepPoint) -> SimulationResult | None:
+        """Memory first, then the disk store; None on a full miss."""
+        cached = self._cache.get(point)
+        if cached is not None:
+            self._hits.inc()
+            self._cache.move_to_end(point)
+            return cached
+        self._misses.inc()
+        store = self.store
+        if store is not None:
+            result = store.load(point.store_key())
+            if result is not None:
+                self._insert(point, result)
+                return result
+        return None
+
+    def _publish(self, point: SweepPoint, result: SimulationResult) -> None:
+        """Warm both tiers with a freshly simulated result."""
+        self._simulations.inc()
+        store = self.store
+        if store is not None:
+            store.store(point.store_key(), result)
+        self._insert(point, result)
+
+    def _insert(self, point: SweepPoint, result: SimulationResult) -> None:
+        self._cache[point] = result
+        self._cache.move_to_end(point)
+        while len(self._cache) > self._capacity():
+            self._cache.popitem(last=False)
+            self._evictions.inc()
+
+    def cache_info(self) -> dict:
+        """Two-tier cache telemetry (memory LRU plus the disk store)."""
+        store = self.store
+        return {
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "evictions": self._evictions.value,
+            "entries": len(self._cache),
+            "capacity": self._capacity(),
+            "simulations": self._simulations.value,
+            "store_path": str(store.path) if store is not None else None,
+            "disk_hits": store.hits if store is not None else 0,
+            "disk_misses": store.misses if store is not None else 0,
+            "disk_stores": store.stores if store is not None else 0,
+            "disk_evictions": store.evictions if store is not None else 0,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every memoised result (counters are left running)."""
+        self._cache.clear()
+
+
+#: The process-wide default instance every module-level shim delegates
+#: to; ``python -m repro --jobs N`` adjusts this one.
+_DEFAULT_RUNNER: Runner | None = None
+
+
+def default_runner() -> Runner:
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = Runner()
+    return _DEFAULT_RUNNER
+
+
+#: Backwards-compatible alias: cache telemetry counters now live on the
+#: default runner's registry.
+cache_metrics = default_runner().metrics
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.harness.runner.{name}() is deprecated; use the Runner "
+        f"facade (repro.harness.runner.default_runner()) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_workload(
+    config: GPUConfig,
+    benchmark: str | WorkloadSpec,
+    *,
+    scale: float | None = None,
+    footprint_scale: float = 1.0,
+    seed: int | None = None,
+    obs: Observability | None = None,
+) -> SimulationResult:
+    """Deprecated shim for :meth:`Runner.run` on the default instance."""
+    _deprecated("run_workload")
+    return default_runner().run(
+        config,
+        benchmark,
+        scale=scale,
+        footprint_scale=footprint_scale,
+        seed=seed,
+        obs=obs,
+    )
 
 
 def run_cached(
@@ -144,41 +428,17 @@ def run_cached(
     *,
     scale: float | None = None,
     footprint_scale: float = 1.0,
+    seed: int | None = None,
 ) -> SimulationResult:
-    """Like :func:`run_workload`, but memoised for the process lifetime."""
-    spec = get_spec(benchmark) if isinstance(benchmark, str) else benchmark
-    effective_scale = scale if scale is not None else default_scale()
-    key = (config, spec.abbr, effective_scale, footprint_scale)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        _cache_hits.inc()
-        _CACHE.move_to_end(key)
-        return cached
-    _cache_misses.inc()
-    result = run_workload(
-        config, spec, scale=effective_scale, footprint_scale=footprint_scale
+    """Deprecated shim for :meth:`Runner.run_cached` on the default instance."""
+    _deprecated("run_cached")
+    return default_runner().run_cached(
+        config,
+        benchmark,
+        scale=scale,
+        footprint_scale=footprint_scale,
+        seed=seed,
     )
-    _CACHE[key] = result
-    while len(_CACHE) > _cache_capacity():
-        _CACHE.popitem(last=False)
-        _cache_evictions.inc()
-    return result
-
-
-def cache_info() -> dict[str, int]:
-    """Memo-cache telemetry: hits, misses, evictions, current size."""
-    return {
-        "hits": _cache_hits.value,
-        "misses": _cache_misses.value,
-        "evictions": _cache_evictions.value,
-        "entries": len(_CACHE),
-        "capacity": _cache_capacity(),
-    }
-
-
-def clear_cache() -> None:
-    """Drop every memoised result (counters are left running)."""
-    _CACHE.clear()
 
 
 def run_matrix(
@@ -188,18 +448,21 @@ def run_matrix(
     scale: float | None = None,
     footprint_scale: float = 1.0,
 ) -> dict[tuple[str, str], SimulationResult]:
-    """Run every (config, benchmark) pair; keys are (config_label, abbr)."""
-    results: dict[tuple[str, str], SimulationResult] = {}
-    for benchmark in benchmarks:
-        spec = get_spec(benchmark) if isinstance(benchmark, str) else benchmark
-        for label, config in configs.items():
-            results[(label, spec.abbr)] = run_workload(
-                config,
-                spec,
-                scale=scale,
-                footprint_scale=footprint_scale,
-            )
-    return results
+    """Deprecated shim for :meth:`Runner.run_matrix` on the default instance."""
+    _deprecated("run_matrix")
+    return default_runner().run_matrix(
+        configs, benchmarks, scale=scale, footprint_scale=footprint_scale
+    )
+
+
+def cache_info() -> dict:
+    """Two-tier cache telemetry of the default runner."""
+    return default_runner().cache_info()
+
+
+def clear_cache() -> None:
+    """Drop the default runner's memoised results."""
+    default_runner().clear_cache()
 
 
 def speedups(

@@ -1,0 +1,167 @@
+"""Persistent on-disk result store for the sweep engine.
+
+Simulations are deterministic in their inputs — configuration,
+benchmark, trace scale, footprint scale, and seed — so a finished
+:class:`~repro.gpu.gpu.SimulationResult` can be keyed by a digest of
+those inputs and reused across processes and invocations.  The store is
+one JSON file per entry under a directory:
+
+``<store>/<digest>.json`` -> ``{"schema": N, "key": {...}, "result": {...}}``
+
+Entries carry a schema stamp and echo their full key, so loads are
+corruption-tolerant: unparseable files, stale schema versions, and
+digest collisions are silently evicted (deleted and treated as misses)
+instead of crashing a sweep.  Writes go through a temp file +
+``os.replace`` so a crashed worker can never leave a half-written entry
+behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from repro.gpu.gpu import SimulationResult
+
+#: Bump when the entry layout or SimulationResult wire format changes:
+#: old entries are then evicted on first touch instead of misread.
+STORE_SCHEMA_VERSION = 1
+
+_ENV_STORE = "REPRO_STORE"
+
+
+def default_store_path() -> str | None:
+    """Directory named by ``REPRO_STORE``; None disables the disk tier."""
+    return os.environ.get(_ENV_STORE) or None
+
+
+def canonical_key(key: Mapping) -> str:
+    """Deterministic JSON encoding of a point key (sorted, no spaces)."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_digest(result: SimulationResult) -> str:
+    """Stable hex digest of a result's fingerprint.
+
+    Two results with equal digests ran bit-identically — the currency
+    the sweep smoke and the parallel-vs-serial tests compare in.
+    """
+    return hashlib.sha256(canonical_key(result.fingerprint()).encode()).hexdigest()
+
+
+class ResultStore:
+    """Digest-keyed persistent cache of simulation results."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Corrupt / stale / colliding entries deleted during loads.
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def digest(self, key: Mapping) -> str:
+        return hashlib.sha256(canonical_key(key).encode()).hexdigest()
+
+    def entry_path(self, key: Mapping) -> Path:
+        return self.path / f"{self.digest(key)}.json"
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def load(self, key: Mapping) -> SimulationResult | None:
+        """The stored result for ``key``, or None (counting a miss).
+
+        Any defect in the entry — unparseable JSON, wrong schema stamp,
+        a digest collision where the echoed key differs — evicts the
+        file and reports a miss rather than raising.
+        """
+        path = self.entry_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if payload["schema"] != STORE_SCHEMA_VERSION:
+                raise ValueError(f"stale schema {payload['schema']!r}")
+            if canonical_key(payload["key"]) != canonical_key(key):
+                raise ValueError("key mismatch (digest collision or tamper)")
+            result = SimulationResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: Mapping, result: SimulationResult) -> Path:
+        """Persist one result atomically; returns the entry path."""
+        path = self.entry_path(key)
+        payload = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": dict(key),
+            "result": result.to_dict(),
+        }
+        self.path.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.path.is_dir():
+            return 0
+        return sum(1 for _ in self.path.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.path.is_dir():
+            for entry in self.path.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> dict:
+        """Telemetry mirror of the in-memory tier's ``cache_info()``."""
+        return {
+            "path": str(self.path),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "entries": len(self),
+        }

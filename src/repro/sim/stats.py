@@ -42,6 +42,17 @@ class Counter:
             return 0.0
         return self.get(numerator) / denom
 
+    def to_dict(self) -> dict[str, int]:
+        """JSON-safe snapshot (alias of :meth:`as_dict` for symmetry)."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "Counter":
+        counter = cls()
+        for name, value in data.items():
+            counter._counts[name] = int(value)
+        return counter
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         items = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
         return f"Counter({items})"
@@ -130,6 +141,17 @@ class Histogram:
     def as_dict(self) -> dict[int, int]:
         return dict(self._buckets)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form: buckets as sorted ``[value, weight]`` pairs."""
+        return {"buckets": [[v, self._buckets[v]] for v in sorted(self._buckets)]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls()
+        for value, weight in data["buckets"]:
+            histogram.record(int(value), int(weight))
+        return histogram
+
 
 @dataclass
 class LatencySample:
@@ -217,6 +239,19 @@ class LatencyTracker:
     def components(self) -> dict[str, int]:
         return dict(self._component_totals)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form: request count plus per-component totals."""
+        return {"count": self._count, "components": dict(self._component_totals)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyTracker":
+        tracker = cls()
+        tracker._count = int(data["count"])
+        for name, value in data["components"].items():
+            tracker._component_totals[name] = int(value)
+            tracker._total += int(value)
+        return tracker
+
 
 class StatsRegistry:
     """Top-level container handed to every component of a simulation.
@@ -257,3 +292,37 @@ class StatsRegistry:
 
     def latency_names(self) -> list[str]:
         return sorted(self._latencies)
+
+    # ------------------------------------------------------------------
+    # Serialization (the persistent result store's wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of every counter, histogram, and tracker.
+
+        The observability bundle is deliberately excluded: it holds live
+        recorders, not results.  :meth:`from_dict` restores a registry
+        whose derived statistics — including everything
+        :meth:`~repro.gpu.gpu.SimulationResult.fingerprint` reads — are
+        identical to the original's.
+        """
+        return {
+            "counters": self.counters.to_dict(),
+            "histograms": {
+                name: self._histograms[name].to_dict()
+                for name in self.histogram_names()
+            },
+            "latencies": {
+                name: self._latencies[name].to_dict()
+                for name in self.latency_names()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatsRegistry":
+        registry = cls()
+        registry.counters = Counter.from_dict(data["counters"])
+        for name, payload in data["histograms"].items():
+            registry._histograms[name] = Histogram.from_dict(payload)
+        for name, payload in data["latencies"].items():
+            registry._latencies[name] = LatencyTracker.from_dict(payload)
+        return registry

@@ -1,0 +1,108 @@
+"""Tests for the configuration registry (repro.config.ConfigRegistry)."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIGS,
+    ConfigRegistry,
+    GPUConfig,
+    baseline_config,
+    config_fingerprint,
+    ideal_config,
+    softwalker_config,
+)
+
+EXPECTED_NAMES = [
+    "baseline",
+    "nha",
+    "fshpt",
+    "avatar",
+    "softwalker",
+    "softwalker-no-intlb",
+    "hybrid",
+    "ideal",
+]
+
+
+class TestConfigRegistry:
+    def test_register_get_and_describe(self):
+        registry = ConfigRegistry()
+        registry.register("base", baseline_config, description="the baseline")
+        assert registry.get("base") == baseline_config()
+        assert registry.describe("base") == "the baseline"
+        assert registry.factory("base") is baseline_config
+
+    def test_get_builds_fresh_instances(self):
+        registry = ConfigRegistry()
+        registry.register("base", baseline_config)
+        assert registry.get("base") is not registry.get("base")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ConfigRegistry()
+        registry.register("base", baseline_config)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("base", ideal_config)
+        registry.register("base", ideal_config, replace_existing=True)
+        assert registry.get("base") == ideal_config()
+
+    def test_unknown_name_lists_known(self):
+        registry = ConfigRegistry()
+        registry.register("base", baseline_config)
+        with pytest.raises(KeyError, match="known: base"):
+            registry.get("nope")
+
+    def test_dict_protocol_matches_legacy_cli_usage(self):
+        # The CLI historically used a plain dict of factories: iteration
+        # yields names, membership works, and indexing returns a factory.
+        assert "softwalker" in DEFAULT_CONFIGS
+        assert set(DEFAULT_CONFIGS) == set(EXPECTED_NAMES)
+        assert len(DEFAULT_CONFIGS) == len(EXPECTED_NAMES)
+        config = DEFAULT_CONFIGS["softwalker"]()
+        assert isinstance(config, GPUConfig)
+        assert config == softwalker_config()
+
+    def test_default_registry_contents(self):
+        assert DEFAULT_CONFIGS.names() == EXPECTED_NAMES
+        for variant in DEFAULT_CONFIGS.variants():
+            assert variant.description, variant.name
+            assert isinstance(variant.build(), GPUConfig)
+
+    def test_default_variants_are_distinct(self):
+        built = {
+            name: config_fingerprint(DEFAULT_CONFIGS.get(name))
+            for name in DEFAULT_CONFIGS
+        }
+        encoded = [json.dumps(fp, sort_keys=True) for fp in built.values()]
+        assert len(set(encoded)) == len(encoded)
+
+
+class TestConfigFingerprint:
+    def test_fingerprint_is_json_safe_and_nested(self):
+        fingerprint = config_fingerprint(baseline_config())
+        encoded = json.dumps(fingerprint, sort_keys=True)
+        assert json.loads(encoded) == fingerprint
+        assert fingerprint["ptw"]["num_walkers"] == 32
+
+    def test_fingerprint_tracks_field_changes(self):
+        base = config_fingerprint(baseline_config())
+        tweaked = config_fingerprint(softwalker_config(in_tlb_mshr_entries=0))
+        assert config_fingerprint(softwalker_config()) != tweaked
+        assert base != tweaked
+
+
+class TestFrontEndsShareTheRegistry:
+    def test_cli_resolves_through_default_registry(self):
+        from repro import cli
+
+        assert cli.CONFIGS is DEFAULT_CONFIGS
+
+    def test_legacy_constructors_still_importable(self):
+        from repro.config import (  # noqa: F401
+            avatar_config,
+            fshpt_config,
+            nha_config,
+        )
+
+        assert DEFAULT_CONFIGS.get("nha") == nha_config()

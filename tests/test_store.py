@@ -1,0 +1,138 @@
+"""Tests for the persistent result store and result serialisation."""
+
+import json
+
+import pytest
+
+from repro.config import baseline_config
+from repro.gpu.gpu import SimulationResult
+from repro.harness.pool import make_point
+from repro.harness.runner import Runner
+from repro.harness.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    canonical_key,
+    default_store_path,
+    fingerprint_digest,
+)
+
+TINY = 0.05
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Runner().run(baseline_config(), "gups", scale=TINY)
+
+
+@pytest.fixture(scope="module")
+def point():
+    return make_point(baseline_config(), "gups", scale=TINY)
+
+
+class TestSerialisation:
+    def test_result_dict_round_trip_preserves_fingerprint(self, result):
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = SimulationResult.from_dict(wire)
+        assert restored.fingerprint() == result.fingerprint()
+        assert restored.cycles == result.cycles
+        assert restored.workload == result.workload
+
+    def test_fingerprint_digest_is_stable(self, result):
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert fingerprint_digest(restored) == fingerprint_digest(result)
+
+    def test_canonical_key_is_order_insensitive(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        store.store(point.store_key(), result)
+        loaded = store.load(point.store_key())
+        assert loaded is not None
+        assert loaded.fingerprint() == result.fingerprint()
+        assert store.stores == 1 and store.hits == 1 and store.misses == 0
+        assert len(store) == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path, point):
+        store = ResultStore(tmp_path / "store")
+        assert store.load(point.store_key()) is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_is_evicted_not_raised(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        path = store.store(point.store_key(), result)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.load(point.store_key()) is None
+        assert store.evictions == 1
+        assert not path.exists()
+
+    def test_stale_schema_is_evicted(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        path = store.store(point.store_key(), result)
+        payload = json.loads(path.read_text())
+        payload["schema"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load(point.store_key()) is None
+        assert store.evictions == 1 and not path.exists()
+
+    def test_key_mismatch_is_evicted(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        path = store.store(point.store_key(), result)
+        payload = json.loads(path.read_text())
+        payload["key"]["seed"] = 999  # simulate a digest collision
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert store.load(point.store_key()) is None
+        assert store.evictions == 1 and not path.exists()
+
+    def test_clear_and_info(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        store.store(point.store_key(), result)
+        info = store.info()
+        assert info["entries"] == 1 and info["stores"] == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_default_store_path_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert default_store_path() is None
+        monkeypatch.setenv("REPRO_STORE", "")
+        assert default_store_path() is None
+        monkeypatch.setenv("REPRO_STORE", "/tmp/somewhere")
+        assert default_store_path() == "/tmp/somewhere"
+
+
+class TestTwoTierIntegration:
+    def test_run_cached_persists_and_reloads(self, tmp_path):
+        first = Runner(store=tmp_path / "store")
+        a = first.run_cached(baseline_config(), "gups", scale=TINY)
+        assert first.cache_info()["disk_stores"] == 1
+
+        second = Runner(store=tmp_path / "store")
+        b = second.run_cached(baseline_config(), "gups", scale=TINY)
+        info = second.cache_info()
+        assert info["simulations"] == 0 and info["disk_hits"] == 1
+        assert b.fingerprint() == a.fingerprint()
+        # Now memoised: a third lookup is a memory hit, not a disk read.
+        c = second.run_cached(baseline_config(), "gups", scale=TINY)
+        assert c is b
+        assert second.cache_info()["disk_hits"] == 1
+
+    def test_scale_env_reaches_the_store_key(self, tmp_path, monkeypatch):
+        runner = Runner(store=tmp_path / "store")
+        monkeypatch.setenv("REPRO_SCALE", str(TINY))
+        runner.run_cached(baseline_config(), "gups")
+        monkeypatch.setenv("REPRO_SCALE", str(2 * TINY))
+        runner.run_cached(baseline_config(), "gups")
+        assert runner.cache_info()["simulations"] == 2
+        assert len(runner.store) == 2
+
+    def test_default_runner_store_tracks_env(self, tmp_path, monkeypatch):
+        runner = Runner()
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert runner.store is None
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        store = runner.store
+        assert store is not None and store.path == tmp_path / "store"
+        assert runner.store is store  # stable while the env is unchanged

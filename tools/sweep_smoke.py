@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Sweep-engine smoke check (the CI gate for the parallel runner).
+
+Runs a tiny config x benchmark matrix twice and enforces three
+invariants:
+
+1. A parallel sweep (``--jobs 2``) produces bit-identical result
+   fingerprints to the same matrix run serially.
+2. Every fresh simulation lands in the persistent result store, so a
+   second sweep over the same matrix from a cold process warm-starts
+   100% from disk: zero new simulations in ``cache_info()``.
+3. Points are deduplicated before dispatch: submitting the matrix with
+   every point doubled still simulates each point exactly once.
+
+Usage:
+    python tools/sweep_smoke.py [--scale S] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import DEFAULT_CONFIGS  # noqa: E402
+from repro.harness.pool import matrix_points  # noqa: E402
+from repro.harness.runner import Runner  # noqa: E402
+from repro.harness.store import fingerprint_digest  # noqa: E402
+
+CONFIG_NAMES = ("baseline", "softwalker", "nha")
+ABBRS = ("gups", "gemm", "bfs")
+
+
+def check_parallel_matches_serial(scale: float, jobs: int) -> None:
+    configs = [DEFAULT_CONFIGS.get(name) for name in CONFIG_NAMES]
+    points = matrix_points(configs, ABBRS, scale=scale)
+
+    serial = Runner().sweep(points, jobs=1)
+    parallel = Runner().sweep(points, jobs=jobs)
+
+    if list(serial) != list(parallel):
+        raise SystemExit("FAIL: parallel sweep returned points out of order")
+    for point in points:
+        left = fingerprint_digest(serial[point])
+        right = fingerprint_digest(parallel[point])
+        if left != right:
+            raise SystemExit(
+                f"FAIL: {point.label()} diverged under --jobs {jobs}: "
+                f"{left[:12]} != {right[:12]}"
+            )
+    print(
+        f"ok: jobs={jobs} fingerprint-identical to serial "
+        f"({len(points)} points over {len(CONFIG_NAMES)} configs x {len(ABBRS)} benchmarks)"
+    )
+
+
+def check_warm_start(scale: float, jobs: int) -> None:
+    configs = [DEFAULT_CONFIGS.get(name) for name in CONFIG_NAMES]
+    points = matrix_points(configs, ABBRS, scale=scale)
+
+    with tempfile.TemporaryDirectory(prefix="sweep-smoke-") as store_dir:
+        cold = Runner(store=store_dir)
+        cold_results = cold.sweep(points, jobs=jobs)
+        info = cold.cache_info()
+        if info["simulations"] != len(points):
+            raise SystemExit(
+                f"FAIL: cold sweep ran {info['simulations']} simulations, "
+                f"expected {len(points)}"
+            )
+        if info["disk_stores"] != len(points):
+            raise SystemExit(
+                f"FAIL: only {info['disk_stores']}/{len(points)} results persisted"
+            )
+
+        warm = Runner(store=store_dir)  # fresh runner = cold memory tier
+        warm_results = warm.sweep(points, jobs=jobs)
+        info = warm.cache_info()
+        if info["simulations"] != 0:
+            raise SystemExit(
+                f"FAIL: warm sweep re-simulated {info['simulations']} points"
+            )
+        if info["disk_hits"] != len(points):
+            raise SystemExit(
+                f"FAIL: warm sweep hit disk only {info['disk_hits']}/{len(points)} times"
+            )
+        for point in points:
+            if fingerprint_digest(cold_results[point]) != fingerprint_digest(
+                warm_results[point]
+            ):
+                raise SystemExit(f"FAIL: {point.label()} changed across the store")
+    print(f"ok: re-run warm-started 100% from disk (0 simulations, {len(points)} hits)")
+
+
+def check_dedup(scale: float, jobs: int) -> None:
+    configs = [DEFAULT_CONFIGS.get(name) for name in CONFIG_NAMES]
+    points = matrix_points(configs, ABBRS, scale=scale)
+
+    runner = Runner()
+    runner.sweep(points + points, jobs=jobs)
+    simulations = runner.cache_info()["simulations"]
+    if simulations != len(points):
+        raise SystemExit(
+            f"FAIL: doubled matrix ran {simulations} simulations, "
+            f"expected {len(points)} after dedup"
+        )
+    print(f"ok: doubled matrix deduplicated to {len(points)} simulations")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    check_parallel_matches_serial(args.scale, args.jobs)
+    check_warm_start(args.scale, args.jobs)
+    check_dedup(args.scale, args.jobs)
+    print("sweep smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
