@@ -12,6 +12,9 @@ Commands:
 * ``metrics`` — sample time-series gauges during a run, export JSON.
 * ``chaos`` — run under a seeded fault plan with invariant auditing.
 * ``checkpoint`` — prove checkpoint/resume is bit-identical on a run.
+* ``serve`` — run the simulation-as-a-service daemon on a unix socket.
+* ``submit`` — submit one job to a running daemon (optionally waiting).
+* ``jobs`` — list a running daemon's jobs, or its stats with ``--stats``.
 """
 
 from __future__ import annotations
@@ -190,6 +193,77 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt_parser.add_argument(
         "--out", metavar="PATH", help="also persist the snapshot here"
     )
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the simulation service daemon on a unix socket"
+    )
+    serve_parser.add_argument(
+        "--socket", metavar="PATH", help="unix socket path (default: REPRO_SOCKET)"
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=None, help="concurrent worker processes"
+    )
+    serve_parser.add_argument(
+        "--max-depth", type=int, default=None, help="queued-job admission bound"
+    )
+    serve_parser.add_argument(
+        "--max-client-depth",
+        type=int,
+        default=None,
+        help="per-client queued-job admission bound",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock limit in seconds (default: none)",
+    )
+    serve_parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        help="seconds in-flight jobs get to finish on SIGTERM",
+    )
+    serve_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent result store directory (default: REPRO_STORE)",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one job to a running service daemon"
+    )
+    submit_parser.add_argument("benchmark", choices=ALL_ABBRS)
+    submit_parser.add_argument(
+        "--config", choices=sorted(CONFIGS), default="baseline"
+    )
+    submit_parser.add_argument("--scale", type=float, default=1.0)
+    submit_parser.add_argument("--footprint-scale", type=float, default=1.0)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument(
+        "--priority", choices=("high", "normal", "low"), default="normal"
+    )
+    submit_parser.add_argument(
+        "--socket", metavar="PATH", help="unix socket path (default: REPRO_SOCKET)"
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="block until the job settles"
+    )
+    submit_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="with --wait: also print each progress heartbeat",
+    )
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="list a running daemon's jobs (or --stats)"
+    )
+    jobs_parser.add_argument(
+        "--socket", metavar="PATH", help="unix socket path (default: REPRO_SOCKET)"
+    )
+    jobs_parser.add_argument(
+        "--stats", action="store_true", help="print service stats instead"
+    )
     return parser
 
 
@@ -358,11 +432,22 @@ def cmd_sweep(
         )
     )
     info = runner.cache_info()
-    print(
+    line = (
         f"\ncache: {info['simulations']} simulations, "
         f"{info['hits']} memory hits, {info['disk_hits']} disk hits"
-        + (f", store={info['store_path']}" if info["store_path"] else "")
     )
+    if info["store_path"]:
+        line += (
+            f", store={info['store_path']} "
+            f"({info['disk_entries']} entries, {info['disk_bytes']} bytes"
+            + (
+                f", {info['disk_evictions']} corrupt entries evicted"
+                if info["disk_evictions"]
+                else ""
+            )
+            + ")"
+        )
+    print(line)
     return 0
 
 
@@ -535,6 +620,190 @@ def cmd_checkpoint(
     return 0 if identical else 1
 
 
+def cmd_serve(
+    socket_path: str | None,
+    max_inflight: int | None,
+    max_depth: int | None,
+    max_client_depth: int | None,
+    job_timeout: float | None,
+    drain_grace: float | None,
+    store: str | None,
+) -> int:
+    import asyncio
+    import logging
+
+    from repro.config import ServiceConfig
+    from repro.service.server import run_server
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(levelname)s %(name)s: %(message)s"
+    )
+    overrides: dict = {}
+    if socket_path is not None:
+        overrides["socket_path"] = socket_path
+    if max_inflight is not None:
+        overrides["max_inflight"] = max_inflight
+    if max_depth is not None:
+        overrides["max_depth"] = max_depth
+    if max_client_depth is not None:
+        overrides["max_client_depth"] = max_client_depth
+    if job_timeout is not None:
+        overrides["job_timeout"] = job_timeout
+    if drain_grace is not None:
+        overrides["drain_grace"] = drain_grace
+    config = ServiceConfig.from_env(**overrides)
+    try:
+        return asyncio.run(run_server(config, store=store))
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C
+        return 0
+
+
+def cmd_submit(
+    benchmark: str,
+    config_name: str,
+    scale: float,
+    footprint_scale: float,
+    seed: int | None,
+    priority: str,
+    socket_path: str | None,
+    wait: bool,
+    stream: bool,
+) -> int:
+    from repro.service import Backpressure, JobSpec, ServiceClient, ServiceError
+
+    spec = JobSpec(
+        benchmark=benchmark,
+        config=config_name,
+        scale=scale,
+        footprint_scale=footprint_scale,
+        seed=seed,
+        priority=priority,
+    )
+    client = ServiceClient(socket_path)
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "progress":
+            gauges = event.get("gauges") or {}
+            extras = "".join(
+                f", {name.rsplit('.', 1)[-1]}={value:g}"
+                for name, value in sorted(gauges.items())
+            )
+            print(
+                f"  cycle {event.get('cycle')}: {event.get('events')} events, "
+                f"{event.get('warps_remaining')} warps remaining{extras}"
+            )
+        elif kind:
+            print(f"  [{kind}]")
+
+    try:
+        if wait:
+            frame = client.submit(
+                spec, wait=True, on_event=on_event if stream else None
+            )
+        else:
+            frame = client.submit(spec)
+    except Backpressure as refusal:
+        print(
+            f"refused [{refusal.code}]: {refusal.error} "
+            f"(retry after ~{refusal.retry_after:g}s)",
+            file=sys.stderr,
+        )
+        return 75  # EX_TEMPFAIL: come back later
+    except (ServiceError, OSError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+
+    if not wait:
+        marker = (
+            " (deduped)" if frame.get("deduped")
+            else " (cached)" if frame.get("cached")
+            else ""
+        )
+        print(f"{frame['job']} {frame['state']}{marker}")
+        return 0
+    if frame.get("state") != "done":
+        print(
+            f"{frame.get('job')} {frame.get('state')}: "
+            f"{frame.get('error', 'unknown failure')}",
+            file=sys.stderr,
+        )
+        return 1
+    result = frame.get("result") or {}
+    rows = [
+        ["job", frame.get("job")],
+        ["state", frame.get("state")],
+        ["cached", "yes" if frame.get("cached") else "no"],
+        ["cycles", result.get("cycles")],
+        ["instructions", result.get("instructions")],
+        ["complete", result.get("complete")],
+        ["fingerprint", str(frame.get("digest", ""))[:16]],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{spec.label()} via service",
+        )
+    )
+    return 0
+
+
+def cmd_jobs(socket_path: str | None, stats: bool) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(socket_path)
+    try:
+        if stats:
+            frame = client.stats()
+            queue = frame.get("queue") or {}
+            store = frame.get("store") or {}
+            rows = [
+                ["uptime (s)", frame.get("uptime")],
+                ["draining", frame.get("draining")],
+                ["simulations run", frame.get("simulations")],
+                ["jobs by state", frame.get("jobs")],
+                ["queue depth", f"{queue.get('depth')}/{queue.get('max_depth')}"],
+                [
+                    "inflight",
+                    f"{queue.get('inflight')}/{queue.get('max_inflight')}",
+                ],
+                ["admitted / refused", f"{queue.get('admitted')} / {queue.get('refused')}"],
+                ["store entries", store.get("entries", 0)],
+                ["store bytes", store.get("size_bytes", 0)],
+                ["store evictions", store.get("evictions", 0)],
+            ]
+            print(format_table(["stat", "value"], rows, title="service stats"))
+            return 0
+        jobs = client.jobs()
+    except (ServiceError, OSError) as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        [
+            job["job"],
+            job["state"],
+            f"{job['spec'].get('config', 'baseline')}/{job['spec']['benchmark']}",
+            job["priority"],
+            job["client"],
+            "yes" if job.get("cached") else "",
+            job.get("attached", 0),
+        ]
+        for job in jobs
+    ]
+    print(
+        format_table(
+            ["job", "state", "spec", "priority", "client", "cached", "attached"],
+            rows,
+            title=f"{len(jobs)} job(s)",
+        )
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -575,6 +844,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_checkpoint(
             args.benchmark, args.config, args.scale, args.events, args.out
         )
+    if args.command == "serve":
+        return cmd_serve(
+            args.socket,
+            args.max_inflight,
+            args.max_depth,
+            args.max_client_depth,
+            args.job_timeout,
+            args.drain_grace,
+            args.store,
+        )
+    if args.command == "submit":
+        return cmd_submit(
+            args.benchmark,
+            args.config,
+            args.scale,
+            args.footprint_scale,
+            args.seed,
+            args.priority,
+            args.socket,
+            args.wait,
+            args.stream,
+        )
+    if args.command == "jobs":
+        return cmd_jobs(args.socket, args.stats)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -10,6 +10,7 @@ memory at 448 GB/s over 16 channels, a four-level radix page table with a
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Iterator
 
@@ -411,6 +412,89 @@ class ConfigRegistry:
 
     def __getitem__(self, name: str) -> Callable[[], GPUConfig]:
         return self.factory(name)
+
+
+#: Default daemon socket path; ``REPRO_SOCKET`` overrides it.
+DEFAULT_SERVICE_SOCKET = ".repro/service.sock"
+
+_SOCKET_ENV = "REPRO_SOCKET"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for the simulation-as-a-service daemon (``repro serve``).
+
+    Architectural knobs live in :class:`GPUConfig`; these are the
+    *operational* ones — where the daemon listens, how much work it
+    admits before pushing back, how many worker processes run at once,
+    and how patiently it drains on shutdown.  See docs/service.md.
+    """
+
+    #: Unix-domain socket the daemon listens on.
+    socket_path: str = DEFAULT_SERVICE_SOCKET
+    #: Queue-state file written on drain; None derives
+    #: ``<socket_path>.state.json``.
+    state_path: str | None = None
+    #: Queued jobs (all clients) before submits get a 429 reply.
+    max_depth: int = 16
+    #: Concurrent worker processes (the in-flight slot bound).
+    max_inflight: int = 2
+    #: Queued jobs one client may hold before its submits get a 429.
+    max_client_depth: int = 8
+    #: Wall-clock seconds per job attempt (None = no watchdog); enforced
+    #: inside the worker by the supervised runner.
+    job_timeout: float | None = None
+    #: Watchdog-timeout retries per job before it degrades/fails.
+    max_retries: int = 1
+    #: First retry sleeps this many seconds, doubling per retry.
+    backoff_base: float = 0.0
+    #: Engine events per supervised slice (the heartbeat cadence).
+    slice_events: int = 20_000
+    #: Cycles between gauge samples streamed to subscribers (0 = off).
+    sample_interval: int = 1_000
+    #: Seconds to let in-flight jobs finish during a drain before they
+    #: are checkpointed back onto the persisted queue.
+    drain_grace: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_client_depth < 1:
+            raise ValueError("max_client_depth must be >= 1")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if self.max_retries < 0 or self.backoff_base < 0:
+            raise ValueError("max_retries and backoff_base must be >= 0")
+        if self.slice_events < 1:
+            raise ValueError("slice_events must be >= 1")
+        if self.sample_interval < 0:
+            raise ValueError("sample_interval must be >= 0 (0 = off)")
+        if self.drain_grace < 0:
+            raise ValueError("drain_grace must be >= 0")
+
+    @property
+    def effective_state_path(self) -> str:
+        return (
+            self.state_path
+            if self.state_path is not None
+            else self.socket_path + ".state.json"
+        )
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "ServiceConfig":
+        """Defaults with ``REPRO_SOCKET`` applied, then ``overrides``."""
+        if "socket_path" not in overrides:
+            socket = os.environ.get(_SOCKET_ENV)
+            if socket:
+                overrides["socket_path"] = socket
+        return cls(**overrides)
+
+
+def default_socket_path() -> str:
+    """Socket path named by ``REPRO_SOCKET``, else the default."""
+    return os.environ.get(_SOCKET_ENV) or DEFAULT_SERVICE_SOCKET
 
 
 #: The default registry: every named configuration of the evaluation.

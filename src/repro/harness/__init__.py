@@ -6,6 +6,8 @@ from repro.harness.pool import (
     default_jobs,
     make_point,
     matrix_points,
+    pool_context,
+    run_point_supervised,
     run_sweep,
 )
 from repro.harness.runner import (
@@ -42,8 +44,10 @@ __all__ = [
     "dedupe_points",
     "make_point",
     "matrix_points",
+    "pool_context",
     "run_cached",
     "run_matrix",
+    "run_point_supervised",
     "run_sweep",
     "run_workload",
     "speedups",

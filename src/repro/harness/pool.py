@@ -150,10 +150,59 @@ def _execute_point(point: SweepPoint) -> dict:
     return result.to_dict()
 
 
-def _pool_context():
-    # Fork keeps workers' view of os.environ and sys.path identical to
-    # the parent's (spawn/forkserver would re-import with whatever the
-    # interpreter start-up happens to see).
+def run_point_supervised(
+    point: SweepPoint,
+    *,
+    policy=None,
+    heartbeat=None,
+    sample_interval: int | None = None,
+):
+    """Execute one point under supervised slicing — the service hook.
+
+    Unlike :func:`_execute_point` (one monolithic ``run()`` per worker),
+    this drives the simulation through
+    :func:`~repro.harness.supervised.run_supervised`, so the caller gets
+    wall-clock watchdogs, retry with backoff, graceful degradation, and
+    a per-slice ``heartbeat(sim)`` callback.  With ``sample_interval``
+    set, each attempt carries a sampling
+    :class:`~repro.obs.Observability` bundle (a fresh one per attempt —
+    gauges cannot double-register on retries), so the heartbeat can
+    read live component gauges off ``sim.obs.metrics``.
+
+    Returns the :class:`~repro.harness.supervised.SupervisedReport`.
+    """
+    from repro.gpu.gpu import GPUSimulator
+    from repro.harness.runner import build_workload
+    from repro.harness.supervised import run_supervised
+    from repro.obs import Observability
+
+    def make_sim() -> GPUSimulator:
+        obs = (
+            Observability.sampling(sample_interval)
+            if sample_interval
+            else None
+        )
+        workload = build_workload(
+            point.benchmark,
+            point.config,
+            scale=point.scale,
+            footprint_scale=point.footprint_scale,
+            seed=point.seed,
+        )
+        return GPUSimulator(point.config, workload, obs=obs)
+
+    return run_supervised(make_sim, policy=policy, heartbeat=heartbeat)
+
+
+def pool_context():
+    """The multiprocessing context every harness worker pool uses.
+
+    Fork keeps workers' view of os.environ and sys.path identical to
+    the parent's (spawn/forkserver would re-import with whatever the
+    interpreter start-up happens to see).  The service daemon spawns
+    its job workers from this same context so they behave identically
+    to sweep workers.
+    """
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
         return multiprocessing.get_context("fork")
@@ -213,7 +262,7 @@ def run_sweep(
     else:
         workers = min(jobs, len(pending))
         with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_pool_context()
+            max_workers=workers, mp_context=pool_context()
         ) as pool:
             futures = [(p, pool.submit(_execute_point, p)) for p in pending]
             for point, future in futures:

@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Mapping
 
 from repro.gpu.gpu import SimulationResult
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the entry layout or SimulationResult wire format changes:
 #: old entries are then evicted on first touch instead of misread.
@@ -96,8 +99,8 @@ class ResultStore:
             if canonical_key(payload["key"]) != canonical_key(key):
                 raise ValueError("key mismatch (digest collision or tamper)")
             result = SimulationResult.from_dict(payload["result"])
-        except (ValueError, KeyError, TypeError):
-            self._evict(path)
+        except (ValueError, KeyError, TypeError) as defect:
+            self._evict(path, reason=str(defect) or type(defect).__name__)
             self.misses += 1
             return None
         self.hits += 1
@@ -128,7 +131,11 @@ class ResultStore:
         self.stores += 1
         return path
 
-    def _evict(self, path: Path) -> None:
+    def _evict(self, path: Path, *, reason: str = "corrupt entry") -> None:
+        # Eviction keeps sweeps alive through corruption, but a store
+        # that quietly rots is a store nobody trusts — say which file
+        # went bad and why, then count it.
+        logger.warning("evicting corrupt result-store entry %s: %s", path, reason)
         try:
             path.unlink()
         except OSError:
@@ -142,6 +149,18 @@ class ResultStore:
         if not self.path.is_dir():
             return 0
         return sum(1 for _ in self.path.glob("*.json"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of every entry (bytes)."""
+        if not self.path.is_dir():
+            return 0
+        total = 0
+        for entry in self.path.glob("*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -164,4 +183,5 @@ class ResultStore:
             "stores": self.stores,
             "evictions": self.evictions,
             "entries": len(self),
+            "size_bytes": self.size_bytes(),
         }

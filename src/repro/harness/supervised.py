@@ -106,6 +106,7 @@ def run_supervised(
     plan: FaultPlan | None = None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    heartbeat: Callable[[GPUSimulator], None] | None = None,
 ) -> SupervisedReport:
     """Drive ``make_sim()`` to completion under a supervision policy.
 
@@ -119,6 +120,10 @@ def run_supervised(
             restored checkpoint already carries its armed injector).
         clock/sleep: injectable time sources so tests can fake the
             watchdog and skip real backoff sleeps.
+        heartbeat: called with the live simulator after every completed
+            slice — the hook the service daemon uses to stream progress
+            (cycle, warps remaining, sampled gauges) to subscribers
+            while a job runs.
     """
     policy = policy if policy is not None else SupervisionPolicy()
     state = _RunState()
@@ -135,7 +140,7 @@ def run_supervised(
             else None
         )
         try:
-            result = _drive(sim, policy, state, clock, deadline)
+            result = _drive(sim, policy, state, clock, deadline, heartbeat)
             return _report(result, sim, attempt, state, degraded=not result.complete)
         except WatchdogTimeout as failure:
             state.failures.append(str(failure))
@@ -176,6 +181,7 @@ def _drive(
     state: _RunState,
     clock: Callable[[], float],
     deadline: float | None,
+    heartbeat: Callable[[GPUSimulator], None] | None = None,
 ) -> SimulationResult:
     start_events = sim.engine.events_processed
     slices = 0
@@ -200,6 +206,8 @@ def _drive(
             slice_budget = min(slice_budget, remaining)
         more = sim.advance(max_events=slice_budget)
         slices += 1
+        if heartbeat is not None:
+            heartbeat(sim)
         if not more:
             # Queue drained naturally; run() validates and builds the
             # final result without processing anything further.

@@ -1,0 +1,57 @@
+"""Simulation-as-a-service: daemon, scheduler, queue, wire protocol.
+
+``repro serve`` runs :class:`~repro.service.server.ServiceServer` on a
+unix socket; ``repro submit`` / ``repro jobs`` talk to it through
+:class:`~repro.service.client.ServiceClient`.  See docs/service.md.
+"""
+
+from repro.service.client import Backpressure, ServiceClient, ServiceError
+from repro.service.protocol import (
+    ACCEPTED,
+    BAD_REQUEST,
+    DRAINING,
+    INTERNAL_ERROR,
+    MAX_FRAME_BYTES,
+    NOT_FOUND,
+    OK,
+    PRIORITIES,
+    PROTOCOL_VERSION,
+    TOO_MANY_JOBS,
+    JobSpec,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+)
+from repro.service.queue import AdmissionRefused, Job, JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.server import ServiceServer, run_server
+
+__all__ = [
+    "ACCEPTED",
+    "AdmissionRefused",
+    "BAD_REQUEST",
+    "Backpressure",
+    "DRAINING",
+    "INTERNAL_ERROR",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "MAX_FRAME_BYTES",
+    "NOT_FOUND",
+    "OK",
+    "PRIORITIES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "TOO_MANY_JOBS",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+    "run_server",
+]

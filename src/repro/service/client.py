@@ -1,0 +1,217 @@
+"""Blocking client for the simulation service.
+
+:class:`ServiceClient` is a thin synchronous wrapper over the NDJSON
+socket protocol — it is what the ``repro submit`` / ``repro jobs`` CLI
+commands use, and what tests drive the daemon with.  It deliberately
+has no asyncio in it: a caller submits, optionally consumes the event
+stream via a callback, and gets plain dicts back.
+
+Error mapping: any reply with ``ok: false`` raises
+:class:`ServiceError` carrying the status code; a 429 or 503 raises the
+:class:`Backpressure` subclass, which also exposes the server's
+``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.config import default_socket_path
+from repro.service.protocol import (
+    DRAINING,
+    MAX_FRAME_BYTES,
+    TOO_MANY_JOBS,
+    JobSpec,
+    ProtocolError,
+    encode_frame,
+)
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error frame."""
+
+    def __init__(self, code: int, error: str, frame: dict | None = None) -> None:
+        super().__init__(f"[{code}] {error}")
+        self.code = code
+        self.error = error
+        self.frame = frame or {}
+
+
+class Backpressure(ServiceError):
+    """A 429/503 refusal; ``retry_after`` says when to try again."""
+
+    def __init__(self, code: int, error: str, frame: dict | None = None) -> None:
+        super().__init__(code, error, frame)
+        self.retry_after = float((frame or {}).get("retry_after", 1.0))
+
+
+def _raise_for_frame(frame: dict) -> dict:
+    if frame.get("ok"):
+        return frame
+    code = int(frame.get("code", 500))
+    error = str(frame.get("error", "unknown error"))
+    if code in (TOO_MANY_JOBS, DRAINING):
+        raise Backpressure(code, error, frame)
+    raise ServiceError(code, error, frame)
+
+
+class ServiceClient:
+    """One connection per request; safe to reuse across calls."""
+
+    def __init__(
+        self,
+        socket_path: str | os.PathLike | None = None,
+        *,
+        timeout: float = 60.0,
+        client_name: str | None = None,
+    ) -> None:
+        self.socket_path = str(socket_path) if socket_path else default_socket_path()
+        self.timeout = timeout
+        self.client_name = client_name or f"pid-{os.getpid()}"
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def _frames(self, sock: socket.socket) -> Iterator[dict]:
+        """Yield reply frames from one connection until it closes."""
+        buffer = b""
+        while True:
+            newline = buffer.find(b"\n")
+            while newline < 0:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                if len(buffer) > MAX_FRAME_BYTES:
+                    raise ProtocolError("reply frame too large")
+                newline = buffer.find(b"\n")
+            line, buffer = buffer[: newline + 1], buffer[newline + 1 :]
+            yield json.loads(line)
+
+    def _roundtrip(self, request: Mapping[str, Any]) -> dict:
+        """Send one frame, return the single (checked) reply frame."""
+        with self._connect() as sock:
+            sock.sendall(encode_frame(request))
+            for frame in self._frames(sock):
+                return _raise_for_frame(frame)
+        raise ServiceError(500, "connection closed before reply")
+
+    # ------------------------------------------------------------------
+    # Simple operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self._roundtrip({"op": "ping"})
+
+    def alive(self) -> bool:
+        try:
+            return bool(self.ping().get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    def wait_until_up(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Block until the daemon answers a ping (or raise TimeoutError)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.alive():
+                return
+            time.sleep(interval)
+        raise TimeoutError(
+            f"no service answered on {self.socket_path} within {timeout:.1f}s"
+        )
+
+    def stats(self) -> dict:
+        return self._roundtrip({"op": "stats"})
+
+    def jobs(self) -> list[dict]:
+        return list(self._roundtrip({"op": "jobs"}).get("jobs", []))
+
+    def status(self, job_id: str, *, result: bool = False) -> dict:
+        request: dict[str, Any] = {"op": "status", "job": job_id}
+        if result:
+            request["result"] = True
+        return self._roundtrip(request)
+
+    def drain(self) -> dict:
+        return self._roundtrip({"op": "drain"})
+
+    # ------------------------------------------------------------------
+    # Submission and streaming
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec | Mapping[str, Any],
+        *,
+        wait: bool = False,
+        on_event: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Submit one job.
+
+        Fire-and-forget by default: returns the 202 acceptance frame
+        (``job``, ``state``, and ``deduped``/``cached`` markers).  With
+        ``wait=True`` the call blocks until the job settles and returns
+        the terminal frame (``state``, ``result``, ``digest``); pass
+        ``on_event`` to also receive every progress frame's ``event``
+        dict as it streams in.
+        """
+        if isinstance(spec, JobSpec):
+            payload = spec.to_dict()
+        else:
+            payload = JobSpec.from_dict(spec).to_dict()
+        request: dict[str, Any] = {
+            "op": "submit",
+            "client": self.client_name,
+            **payload,
+        }
+        stream = wait or on_event is not None
+        if stream:
+            request["stream" if on_event is not None else "wait"] = True
+        with self._connect() as sock:
+            sock.sendall(encode_frame(request))
+            frames = self._frames(sock)
+            ack = _raise_for_frame(next(frames, {"ok": False, "code": 500,
+                                                 "error": "no reply"}))
+            if not stream:
+                return ack
+            for frame in frames:
+                _raise_for_frame(frame)
+                if frame.get("done"):
+                    return frame
+                event = frame.get("event")
+                if event is not None and on_event is not None:
+                    on_event(event)
+        raise ServiceError(500, "stream closed before the job settled")
+
+    def subscribe(
+        self, job_id: str, *, on_event: Callable[[dict], None] | None = None
+    ) -> dict:
+        """Attach to an existing job's stream; returns its final frame."""
+        with self._connect() as sock:
+            sock.sendall(encode_frame({"op": "subscribe", "job": job_id}))
+            frames = self._frames(sock)
+            _raise_for_frame(next(frames, {"ok": False, "code": 500,
+                                           "error": "no reply"}))
+            for frame in frames:
+                _raise_for_frame(frame)
+                if frame.get("done"):
+                    return frame
+                event = frame.get("event")
+                if event is not None and on_event is not None:
+                    on_event(event)
+        raise ServiceError(500, "stream closed before the job settled")
+
+
+__all__ = [
+    "Backpressure",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,327 @@
+"""Job queue: priority classes, per-client fairness, admission control.
+
+The queue holds :class:`Job` records the scheduler has not dispatched
+yet.  Three policies live here:
+
+* **Priority classes** — ``high`` drains before ``normal`` before
+  ``low`` (see :data:`~repro.service.protocol.PRIORITIES`).
+* **Per-client fairness** — within one priority class, clients are
+  served round-robin: a client that dumps fifty jobs cannot starve a
+  client that submitted one.
+* **Admission control** — :meth:`JobQueue.admit` refuses work (raising
+  :class:`AdmissionRefused`, which the server turns into a 429 reply
+  with a ``Retry-After`` hint) once queue depth or a single client's
+  backlog exceeds its bounds.  Backpressure beats an unbounded queue:
+  the client learns *now* that the service is saturated, with an
+  estimate of when to come back, instead of waiting forever.
+
+The queue also snapshots to / restores from a JSON payload so a
+draining daemon can persist still-queued jobs and a restarted one can
+resume them (docs/service.md covers the lifecycle).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.service.protocol import PRIORITIES, JobSpec, ProtocolError
+
+#: Schema stamp of the persisted queue state.
+QUEUE_STATE_VERSION = 1
+
+#: Runtime estimate (seconds) used for Retry-After hints before the
+#: first job completes and the moving average takes over.
+DEFAULT_RUNTIME_ESTIMATE = 5.0
+
+#: Progress frames retained per job for late subscribers.
+EVENT_HISTORY_LIMIT = 64
+
+
+class AdmissionRefused(RuntimeError):
+    """The queue is refusing new work; come back in ``retry_after`` s."""
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One submitted simulation, from admission to terminal state."""
+
+    id: str
+    spec: JobSpec
+    #: Canonical dedupe/store key (``JobSpec.key()``).
+    key: str
+    client: str = "anon"
+    #: ``queued`` -> ``running`` -> ``done`` | ``failed``; a drained
+    #: in-flight job goes back to ``queued`` before being persisted.
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Terminal payload: a ``SimulationResult.to_dict()`` mapping.
+    result: dict | None = None
+    error: str | None = None
+    #: Served straight from the persistent result store (never ran).
+    cached: bool = False
+    #: Duplicate submissions that attached to this job instead of
+    #: re-running it.
+    attached: int = 0
+    #: Times the job was dispatched to a worker (drain/resume can make
+    #: this exceed 1 even before worker-level retries).
+    dispatches: int = 0
+    #: Bounded history of progress events for late subscribers.
+    events: list = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def record_event(self, event: dict) -> None:
+        self.events.append(event)
+        if len(self.events) > EVENT_HISTORY_LIMIT:
+            del self.events[: len(self.events) - EVENT_HISTORY_LIMIT]
+
+    def describe(self) -> dict:
+        """Public status frame (what ``repro jobs`` renders)."""
+        out: dict[str, Any] = {
+            "job": self.id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "priority": self.spec.priority,
+            "client": self.client,
+            "submitted_at": self.submitted_at,
+            "cached": self.cached,
+            "attached": self.attached,
+            "dispatches": self.dispatches,
+        }
+        if self.started_at is not None:
+            out["started_at"] = self.started_at
+        if self.finished_at is not None:
+            out["finished_at"] = self.finished_at
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def snapshot(self) -> dict:
+        """Persistable form of a *queued* job (results never persist
+        here — finished work lives in the result store)."""
+        return {
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "key": self.key,
+            "client": self.client,
+            "submitted_at": self.submitted_at,
+            "dispatches": self.dispatches,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "Job":
+        return cls(
+            id=str(data["id"]),
+            spec=JobSpec.from_dict(data["spec"]),
+            key=str(data["key"]),
+            client=str(data.get("client", "anon")),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            dispatches=int(data.get("dispatches", 0)),
+        )
+
+
+class JobQueue:
+    """Priority + fairness queue with bounded admission.
+
+    Structure: one ``OrderedDict[client, deque[Job]]`` per priority
+    class.  :meth:`pop` serves priorities strictly in order; within a
+    priority it takes the head of the *first* client's deque and then
+    rotates that client to the back — round-robin fairness with O(1)
+    operations.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 16,
+        max_inflight: int = 2,
+        max_client_depth: int = 8,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_depth = max_depth
+        self.max_inflight = max_inflight
+        self.max_client_depth = max_client_depth
+        self._lanes: dict[str, OrderedDict[str, deque[Job]]] = {
+            priority: OrderedDict() for priority in PRIORITIES
+        }
+        self._depth = 0
+        self._per_client: dict[str, int] = {}
+        #: Jobs currently dispatched to workers (ids), bounded by
+        #: ``max_inflight`` — the scheduler marks these in and out.
+        self.inflight: set[str] = set()
+        #: Exponentially weighted mean job runtime, for Retry-After.
+        self._runtime_ema: float | None = None
+        #: Lifetime telemetry.
+        self.admitted = 0
+        self.refused = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def client_depth(self, client: str) -> int:
+        return self._per_client.get(client, 0)
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def __iter__(self) -> Iterator[Job]:
+        """Queued jobs in the exact order :meth:`pop` would serve them."""
+        lanes = {
+            priority: OrderedDict(
+                (client, deque(jobs)) for client, jobs in lane.items()
+            )
+            for priority, lane in self._lanes.items()
+        }
+        for priority in PRIORITIES:
+            lane = lanes[priority]
+            while lane:
+                client, jobs = next(iter(lane.items()))
+                yield jobs.popleft()
+                del lane[client]
+                if jobs:
+                    lane[client] = jobs
+
+    def info(self) -> dict:
+        return {
+            "depth": self._depth,
+            "max_depth": self.max_depth,
+            "inflight": len(self.inflight),
+            "max_inflight": self.max_inflight,
+            "admitted": self.admitted,
+            "refused": self.refused,
+            "per_priority": {
+                priority: sum(len(jobs) for jobs in lane.values())
+                for priority, lane in self._lanes.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def retry_after(self) -> float:
+        """Seconds until capacity plausibly frees up.
+
+        Backlog ahead of a new arrival, divided across the worker
+        slots, times the observed mean runtime — a hint, not a promise.
+        """
+        runtime = (
+            self._runtime_ema
+            if self._runtime_ema is not None
+            else DEFAULT_RUNTIME_ESTIMATE
+        )
+        backlog = self._depth + len(self.inflight)
+        waves = max(1.0, backlog / self.max_inflight)
+        return round(max(0.1, waves * runtime), 1)
+
+    def admit(self, client: str) -> None:
+        """Gate one submission; raises :class:`AdmissionRefused` on
+        saturation (total backlog or one client's share)."""
+        if self._depth >= self.max_depth:
+            self.refused += 1
+            raise AdmissionRefused(
+                f"queue full ({self._depth}/{self.max_depth} jobs queued, "
+                f"{len(self.inflight)}/{self.max_inflight} running)",
+                self.retry_after(),
+            )
+        if self.client_depth(client) >= self.max_client_depth:
+            self.refused += 1
+            raise AdmissionRefused(
+                f"client {client!r} already has "
+                f"{self.client_depth(client)} jobs queued "
+                f"(per-client bound {self.max_client_depth})",
+                self.retry_after(),
+            )
+
+    def record_runtime(self, seconds: float) -> None:
+        """Feed one completed job's wall-clock into the EMA."""
+        if self._runtime_ema is None:
+            self._runtime_ema = seconds
+        else:
+            self._runtime_ema = 0.7 * self._runtime_ema + 0.3 * seconds
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Enqueue an admitted job (call :meth:`admit` first)."""
+        lane = self._lanes[job.spec.priority]
+        if job.client not in lane:
+            lane[job.client] = deque()
+        lane[job.client].append(job)
+        self._depth += 1
+        self._per_client[job.client] = self._per_client.get(job.client, 0) + 1
+        self.admitted += 1
+
+    def pop(self) -> Job | None:
+        """Next job by priority then client round-robin; None if empty."""
+        for priority in PRIORITIES:
+            lane = self._lanes[priority]
+            if not lane:
+                continue
+            client, jobs = next(iter(lane.items()))
+            job = jobs.popleft()
+            # Rotate: the served client goes to the back of its lane.
+            del lane[client]
+            if jobs:
+                lane[client] = jobs
+            self._depth -= 1
+            self._per_client[client] -= 1
+            if not self._per_client[client]:
+                del self._per_client[client]
+            return job
+        return None
+
+    def has_slot(self) -> bool:
+        return len(self.inflight) < self.max_inflight
+
+    def mark_running(self, job: Job) -> None:
+        self.inflight.add(job.id)
+
+    def mark_finished(self, job: Job) -> None:
+        self.inflight.discard(job.id)
+
+    # ------------------------------------------------------------------
+    # Persistence (drain / resume)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON payload of every queued job, in service order."""
+        return {
+            "version": QUEUE_STATE_VERSION,
+            "jobs": [job.snapshot() for job in self],
+        }
+
+    @classmethod
+    def restore_jobs(cls, payload: dict) -> list[Job]:
+        """Jobs from a :meth:`snapshot` payload, in service order.
+
+        Raises :class:`~repro.service.protocol.ProtocolError` on a
+        stale or malformed payload — a daemon should refuse to guess at
+        half-understood state.
+        """
+        if not isinstance(payload, dict):
+            raise ProtocolError("queue state must be a JSON object")
+        if payload.get("version") != QUEUE_STATE_VERSION:
+            raise ProtocolError(
+                f"unsupported queue state version {payload.get('version')!r}"
+            )
+        try:
+            return [Job.from_snapshot(entry) for entry in payload.get("jobs", [])]
+        except (KeyError, TypeError, ValueError) as defect:
+            raise ProtocolError(f"malformed queue state: {defect}") from None

@@ -1,0 +1,543 @@
+"""Job scheduler: dedupe, dispatch, streaming, drain/resume.
+
+The scheduler sits between the :class:`~repro.service.queue.JobQueue`
+and the fork-based worker processes:
+
+* **Dedupe** — a submission whose
+  :meth:`~repro.service.protocol.JobSpec.key` matches a queued, running,
+  or completed job *attaches* to it instead of re-running (both callers
+  get the same result payload, byte-identical by construction).  Keys
+  are exactly the sweep engine's persistent-store keys, so a submission
+  whose result already sits in the :class:`~repro.harness.store.ResultStore`
+  completes instantly from disk without ever occupying a worker slot.
+* **Dispatch** — admitted jobs run in worker processes forked from the
+  same :func:`~repro.harness.pool.pool_context` the sweep engine uses,
+  each driven by :func:`~repro.harness.pool.run_point_supervised` so
+  wall-clock timeouts, retry with backoff, and graceful degradation all
+  come from the supervised runner rather than being reimplemented here.
+* **Streaming** — workers send heartbeat frames (cycle, events, warps
+  remaining, sampled gauges from the
+  :class:`~repro.obs.MetricsSampler`) over a pipe after every
+  supervised slice; the scheduler fans them out to per-job subscriber
+  queues, keeping a bounded history for late subscribers.
+* **Drain / resume** — :meth:`Scheduler.drain` stops dispatching, gives
+  in-flight jobs a grace period, pushes the stragglers back onto the
+  queue, and :meth:`Scheduler.save_state` persists everything still
+  queued so a restarted daemon resumes exactly where this one stopped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+import tempfile
+import time
+import uuid
+from typing import Any
+
+from repro.config import DEFAULT_CONFIGS, ConfigRegistry, ServiceConfig
+from repro.gpu.gpu import SimulationResult
+from repro.harness.pool import pool_context, run_point_supervised
+from repro.harness.store import ResultStore
+from repro.harness.supervised import SupervisionPolicy
+from repro.service.protocol import JobSpec, ProtocolError
+from repro.service.queue import AdmissionRefused, Job, JobQueue
+
+logger = logging.getLogger(__name__)
+
+#: Minimum seconds between heartbeat frames a worker ships home (the
+#: supervised slice cadence can be far finer than anyone wants to read).
+HEARTBEAT_MIN_INTERVAL = 0.05
+
+#: Extra wall-clock slack the scheduler's hard watchdog allows on top of
+#: the supervised runner's own (timeout * attempts) budget before it
+#: terminates a silent worker outright.
+HARD_KILL_SLACK = 10.0
+
+
+def _job_worker(spec_payload: dict, policy_payload: dict, sample_interval: int, conn) -> None:
+    """Worker-process entry: run one job, stream events over ``conn``.
+
+    Runs in a forked child.  Every outbound message is a dict with a
+    ``type`` of ``heartbeat``, ``result``, or ``error``; the pipe closes
+    after the terminal message, so the parent treats EOF-without-
+    terminal as a worker death.
+    """
+    # The fork inherits the daemon's asyncio signal handlers, under which
+    # SIGTERM only pokes the (inherited) wakeup fd instead of killing us —
+    # which would make the scheduler's terminate() during drain a no-op.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    try:
+        spec = JobSpec.from_dict(spec_payload)
+        point = spec.to_point()
+        policy = SupervisionPolicy(**policy_payload)
+        last_beat = 0.0
+
+        def heartbeat(sim) -> None:
+            nonlocal last_beat
+            now = time.monotonic()
+            if now - last_beat < HEARTBEAT_MIN_INTERVAL and last_beat:
+                return
+            last_beat = now
+            gauges = {}
+            metrics = sim.obs.metrics
+            if metrics.enabled:
+                for name in metrics.gauge_names():
+                    value = metrics.last(name)
+                    if value is not None:
+                        gauges[name] = value
+            conn.send(
+                {
+                    "type": "heartbeat",
+                    "cycle": sim.engine.now,
+                    "events": sim.engine.events_processed,
+                    "warps_remaining": sim.warps_remaining,
+                    "gauges": gauges,
+                }
+            )
+
+        report = run_point_supervised(
+            point,
+            policy=policy,
+            heartbeat=heartbeat,
+            sample_interval=sample_interval or None,
+        )
+        conn.send(
+            {
+                "type": "result",
+                "result": report.result.to_dict(),
+                "report": {
+                    "attempts": report.attempts,
+                    "degraded": report.degraded,
+                    "failures": list(report.failures),
+                },
+            }
+        )
+    except BaseException as failure:  # ship the failure home, then die
+        try:
+            conn.send(
+                {"type": "error", "error": f"{type(failure).__name__}: {failure}"}
+            )
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _recv(conn) -> dict | None:
+    """Blocking pipe read (run in an executor thread); None on EOF."""
+    try:
+        return conn.recv()
+    except (EOFError, OSError):
+        return None
+
+
+class Scheduler:
+    """Owns the job table, the queue, the workers, and the store."""
+
+    def __init__(
+        self,
+        *,
+        config: ServiceConfig | None = None,
+        store: ResultStore | None = None,
+        registry: ConfigRegistry = DEFAULT_CONFIGS,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.store = store
+        self.registry = registry
+        self.queue = JobQueue(
+            max_depth=self.config.max_depth,
+            max_inflight=self.config.max_inflight,
+            max_client_depth=self.config.max_client_depth,
+        )
+        #: Every job this daemon has seen, by id.
+        self.jobs: dict[str, Job] = {}
+        #: Latest job per dedupe key (queued, running, or completed).
+        self._by_key: dict[str, Job] = {}
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._done: dict[str, asyncio.Event] = {}
+        self._procs: dict[str, Any] = {}
+        self._run_tasks: dict[str, asyncio.Task] = {}
+        self._requeue_on_death: set[str] = set()
+        self._dispatcher: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self.draining = False
+        self.started_at = time.time()
+        #: Simulations actually executed by workers (cache/dedupe hits
+        #: never increment this — the currency of the dedupe tests).
+        self.simulations = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Attach to the running event loop and begin dispatching."""
+        self._wake = asyncio.Event()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    def _kick(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    async def drain(self, grace: float | None = None) -> None:
+        """Stop dispatching; finish or re-queue in-flight jobs.
+
+        In-flight jobs get ``grace`` seconds (default: the service
+        config's ``drain_grace``) to finish naturally; stragglers are
+        terminated and pushed back onto the queue in the ``queued``
+        state, so :meth:`save_state` persists them for the next daemon.
+        """
+        self.draining = True
+        if grace is None:
+            grace = self.config.drain_grace
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        running = [task for task in self._run_tasks.values() if not task.done()]
+        if running:
+            done, pending = await asyncio.wait(running, timeout=grace)
+            if pending:
+                pending_ids = [
+                    job_id
+                    for job_id, task in self._run_tasks.items()
+                    if task in pending
+                ]
+                logger.warning(
+                    "drain grace expired; re-queueing %d in-flight job(s): %s",
+                    len(pending_ids),
+                    ", ".join(pending_ids),
+                )
+                self._requeue_on_death.update(pending_ids)
+                for job_id in pending_ids:
+                    proc = self._procs.get(job_id)
+                    if proc is not None and proc.is_alive():
+                        proc.terminate()
+                _done, pending = await asyncio.wait(
+                    pending, timeout=HARD_KILL_SLACK
+                )
+                if pending:
+                    # A worker ignored SIGTERM; SIGKILL cannot be ignored,
+                    # and the resulting pipe EOF unblocks the reader task.
+                    for job_id in pending_ids:
+                        proc = self._procs.get(job_id)
+                        if proc is not None and proc.is_alive():
+                            proc.kill()
+                    await asyncio.wait(pending, timeout=HARD_KILL_SLACK)
+
+    # ------------------------------------------------------------------
+    # Submission (dedupe + admission)
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, client: str = "anon") -> tuple[Job, dict]:
+        """Admit one submission; returns ``(job, reply_extras)``.
+
+        Raises :class:`~repro.service.queue.AdmissionRefused` on
+        backpressure, :class:`~repro.service.protocol.ProtocolError` on
+        an unresolvable spec (unknown config/benchmark).
+        """
+        try:
+            key = spec.key(self.registry)
+        except (KeyError, ValueError) as defect:
+            raise ProtocolError(str(defect)) from None
+
+        active = self._by_key.get(key)
+        if active is not None and active.state != "failed":
+            # Queued, running, or done: attach instead of re-running.
+            active.attached += 1
+            return active, {"deduped": True}
+
+        if self.store is not None:
+            cached = self.store.load(json.loads(key))
+            if cached is not None:
+                job = self._new_job(spec, key, client)
+                job.state = "done"
+                job.cached = True
+                job.result = cached.to_dict()
+                job.finished_at = time.time()
+                self._register(job)
+                return job, {"cached": True}
+
+        self.queue.admit(client)
+        job = self._new_job(spec, key, client)
+        self._register(job)
+        self.queue.push(job)
+        self._kick()
+        return job, {}
+
+    def _new_job(self, spec: JobSpec, key: str, client: str) -> Job:
+        return Job(id=f"j-{uuid.uuid4().hex[:12]}", spec=spec, key=key, client=client)
+
+    def _register(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        self._by_key[job.key] = job
+        event = asyncio.Event()
+        if job.done:
+            event.set()
+        self._done[job.id] = event
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while not self.draining and self.queue.has_slot():
+                job = self.queue.pop()
+                if job is None:
+                    break
+                task = asyncio.create_task(self._run_job(job))
+                self._run_tasks[job.id] = task
+                task.add_done_callback(
+                    lambda _t, job_id=job.id: self._run_tasks.pop(job_id, None)
+                )
+
+    def _policy_payload(self) -> dict:
+        return {
+            "slice_events": self.config.slice_events,
+            "wall_clock_limit": self.config.job_timeout,
+            "max_retries": self.config.max_retries,
+            "backoff_base": self.config.backoff_base,
+            "degrade": True,
+        }
+
+    def _hard_budget(self) -> float | None:
+        """Max seconds of worker silence before the hard kill.
+
+        The supervised runner inside the worker already enforces the
+        per-attempt wall clock; this outer watchdog only catches a
+        worker that stopped talking entirely (crashed interpreter,
+        pipe wedged).
+        """
+        if self.config.job_timeout is None:
+            return None
+        attempts = self.config.max_retries + 1
+        backoff = sum(
+            self.config.backoff_base * (2**k) for k in range(self.config.max_retries)
+        )
+        return self.config.job_timeout * attempts + backoff + HARD_KILL_SLACK
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = "running"
+        job.started_at = time.time()
+        job.dispatches += 1
+        self.queue.mark_running(job)
+        self._publish(job, {"event": "started", "dispatch": job.dispatches})
+
+        ctx = pool_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_job_worker,
+            args=(
+                job.spec.to_dict(),
+                self._policy_payload(),
+                self.config.sample_interval,
+                child_conn,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[job.id] = proc
+        budget = self._hard_budget()
+
+        result: dict | None = None
+        report: dict | None = None
+        error: str | None = None
+        try:
+            while True:
+                try:
+                    msg = await asyncio.wait_for(
+                        loop.run_in_executor(None, _recv, parent_conn), timeout=budget
+                    )
+                except asyncio.TimeoutError:
+                    error = (
+                        f"no worker message for {budget:.0f}s; "
+                        "terminated by the scheduler watchdog"
+                    )
+                    proc.terminate()
+                    break
+                if msg is None:  # EOF without a terminal frame
+                    if result is None and error is None:
+                        error = "worker process died without reporting a result"
+                    break
+                kind = msg.get("type")
+                if kind == "heartbeat":
+                    event = {"event": "progress", **{
+                        k: v for k, v in msg.items() if k != "type"
+                    }}
+                    self._publish(job, event)
+                elif kind == "result":
+                    result = msg["result"]
+                    report = msg.get("report")
+                elif kind == "error":
+                    error = msg.get("error", "unknown worker error")
+        finally:
+            parent_conn.close()
+            await loop.run_in_executor(None, proc.join)
+            self._procs.pop(job.id, None)
+            self.queue.mark_finished(job)
+            self._finish(job, result=result, report=report, error=error)
+
+    def _finish(
+        self,
+        job: Job,
+        *,
+        result: dict | None,
+        report: dict | None,
+        error: str | None,
+    ) -> None:
+        if job.id in self._requeue_on_death and result is None:
+            # Drained mid-flight: back onto the queue for the next daemon.
+            self._requeue_on_death.discard(job.id)
+            job.state = "queued"
+            job.started_at = None
+            self.queue.push(job)
+            self._publish(job, {"event": "requeued"})
+            return
+        self._requeue_on_death.discard(job.id)
+        job.finished_at = time.time()
+        if result is not None:
+            job.state = "done"
+            job.result = result
+            self.simulations += 1
+            if job.started_at is not None:
+                self.queue.record_runtime(job.finished_at - job.started_at)
+            if self.store is not None:
+                try:
+                    self.store.store(
+                        json.loads(job.key), SimulationResult.from_dict(result)
+                    )
+                except OSError as defect:
+                    logger.warning(
+                        "could not persist result for %s: %s", job.id, defect
+                    )
+        else:
+            job.state = "failed"
+            job.error = error or "unknown failure"
+        end: dict[str, Any] = {"event": "end", "state": job.state}
+        if report is not None:
+            end["report"] = report
+        if job.error is not None:
+            end["error"] = job.error
+        self._publish(job, end)
+        done = self._done.get(job.id)
+        if done is not None:
+            done.set()
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # Streaming / waiting
+    # ------------------------------------------------------------------
+    def _publish(self, job: Job, event: dict) -> None:
+        event = {"job": job.id, **event}
+        job.record_event(event)
+        for queue in self._subscribers.get(job.id, ()):  # live listeners
+            queue.put_nowait(event)
+
+    def subscribe(self, job_id: str) -> asyncio.Queue:
+        """Event queue replaying history, then live until ``end``."""
+        job = self.jobs[job_id]
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in job.events:
+            queue.put_nowait(event)
+        if not job.done:
+            self._subscribers.setdefault(job_id, []).append(queue)
+        elif not any(e.get("event") == "end" for e in job.events):
+            # Cache-hit jobs never ran, so they have no event history.
+            queue.put_nowait({"job": job.id, "event": "end", "state": job.state})
+        return queue
+
+    def unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        listeners = self._subscribers.get(job_id)
+        if listeners is not None:
+            try:
+                listeners.remove(queue)
+            except ValueError:
+                pass
+            if not listeners:
+                del self._subscribers[job_id]
+
+    async def wait(self, job_id: str) -> Job:
+        await self._done[job_id].wait()
+        return self.jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "uptime": round(time.time() - self.started_at, 3),
+            "draining": self.draining,
+            "simulations": self.simulations,
+            "jobs": by_state,
+            "queue": self.queue.info(),
+            "store": self.store.info() if self.store is not None else None,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (drain / resume)
+    # ------------------------------------------------------------------
+    def save_state(self, path: str | None = None) -> int:
+        """Persist queued jobs; returns how many were written.
+
+        With nothing queued the state file is removed instead — a
+        restarted daemon should not resurrect an empty snapshot.
+        """
+        target = path if path is not None else self.config.effective_state_path
+        payload = self.queue.snapshot()
+        count = len(payload["jobs"])
+        if count == 0:
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
+            return 0
+        directory = os.path.dirname(target) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, target)
+        logger.info("persisted %d queued job(s) to %s", count, target)
+        return count
+
+    def load_state(self, path: str | None = None) -> int:
+        """Re-enqueue jobs from a persisted snapshot; returns the count.
+
+        The snapshot is consumed (deleted) on a successful load so a
+        crash loop cannot double-enqueue it.
+        """
+        target = path if path is not None else self.config.effective_state_path
+        try:
+            with open(target, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return 0
+        except (OSError, json.JSONDecodeError) as defect:
+            logger.warning("ignoring unreadable queue state %s: %s", target, defect)
+            return 0
+        jobs = JobQueue.restore_jobs(payload)
+        for job in jobs:
+            self._register(job)
+            self.queue.push(job)
+        os.unlink(target)
+        if jobs:
+            logger.info("resumed %d queued job(s) from %s", len(jobs), target)
+            self._kick()
+        return len(jobs)

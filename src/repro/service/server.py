@@ -1,0 +1,351 @@
+"""The asyncio daemon behind ``repro serve``.
+
+One :class:`ServiceServer` listens on a unix-domain socket, speaks the
+newline-delimited-JSON protocol of :mod:`repro.service.protocol`, and
+delegates everything stateful to a
+:class:`~repro.service.scheduler.Scheduler`.
+
+Shutdown is a *drain*, never a drop: SIGTERM (or a ``drain`` frame)
+flips the daemon into draining mode — new submissions get a 503 with a
+``retry_after`` hint — then in-flight jobs get the configured grace to
+finish, stragglers are pushed back onto the queue, queued work is
+persisted to the state file, and the process exits 0.  A daemon started
+on the same state file resumes the persisted queue before accepting its
+first connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import signal
+import socket as socket_module
+import time
+from typing import Any
+
+from repro.config import DEFAULT_CONFIGS, ConfigRegistry, ServiceConfig
+from repro.gpu.gpu import SimulationResult
+from repro.harness.store import ResultStore, default_store_path, fingerprint_digest
+from repro.service.protocol import (
+    ACCEPTED,
+    BAD_REQUEST,
+    DRAINING,
+    INTERNAL_ERROR,
+    MAX_FRAME_BYTES,
+    NOT_FOUND,
+    PROTOCOL_VERSION,
+    TOO_MANY_JOBS,
+    JobSpec,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+)
+from repro.service.queue import AdmissionRefused, Job
+from repro.service.scheduler import Scheduler
+
+logger = logging.getLogger(__name__)
+
+
+class ServiceServer:
+    """Simulation-as-a-service daemon on a unix socket."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        registry: ConfigRegistry = DEFAULT_CONFIGS,
+        store: ResultStore | str | os.PathLike | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig.from_env()
+        if store is None:
+            path = default_store_path()
+            store = ResultStore(path) if path else None
+        elif not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.scheduler = Scheduler(
+            config=self.config, store=store, registry=registry
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped: asyncio.Event | None = None
+        self._shutdown_task: asyncio.Task | None = None
+
+    @property
+    def draining(self) -> bool:
+        return self.scheduler.draining
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _claim_socket(self) -> None:
+        """Remove a stale socket file; refuse to evict a live daemon."""
+        path = self.config.socket_path
+        if not os.path.exists(path):
+            return
+        probe = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        try:
+            probe.settimeout(0.5)
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # nobody home: a previous daemon died uncleanly
+        else:
+            raise RuntimeError(f"another daemon is already serving on {path}")
+        finally:
+            probe.close()
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self.scheduler.start()
+        self.scheduler.load_state()
+        directory = os.path.dirname(self.config.socket_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._claim_socket()
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.config.socket_path, limit=MAX_FRAME_BYTES
+        )
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._signal_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        logger.info(
+            "serving on %s (max_depth=%d, max_inflight=%d%s)",
+            self.config.socket_path,
+            self.config.max_depth,
+            self.config.max_inflight,
+            f", store={self.scheduler.store.path}" if self.scheduler.store else "",
+        )
+
+    def _signal_shutdown(self) -> None:
+        if self._shutdown_task is None or self._shutdown_task.done():
+            self._shutdown_task = asyncio.create_task(self.shutdown())
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until a drain completes."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admitting, settle jobs, persist, exit."""
+        if self.scheduler.draining:
+            return
+        logger.info("draining: refusing new submissions")
+        await self.scheduler.drain()
+        persisted = self.scheduler.save_state()
+        logger.info("drained; %d job(s) persisted for resume", persisted)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer,
+                        error_frame(BAD_REQUEST, "frame too long"),
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except ProtocolError as defect:
+                    await self._send(writer, error_frame(BAD_REQUEST, str(defect)))
+                    continue
+                try:
+                    await self._dispatch(frame, writer)
+                except (ConnectionResetError, BrokenPipeError):
+                    raise
+                except Exception as failure:  # one bad op must not kill the daemon
+                    logger.exception("internal error handling %r", frame.get("op"))
+                    await self._send(
+                        writer,
+                        error_frame(
+                            INTERNAL_ERROR,
+                            f"{type(failure).__name__}: {failure}",
+                        ),
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def _dispatch(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        op = frame.get("op")
+        if op == "ping":
+            await self._send(
+                writer,
+                ok_frame(
+                    op="pong",
+                    version=PROTOCOL_VERSION,
+                    draining=self.draining,
+                    time=time.time(),
+                ),
+            )
+        elif op == "stats":
+            await self._send(writer, ok_frame(**self.scheduler.stats()))
+        elif op == "jobs":
+            jobs = sorted(
+                self.scheduler.jobs.values(), key=lambda job: job.submitted_at
+            )
+            await self._send(
+                writer, ok_frame(jobs=[job.describe() for job in jobs])
+            )
+        elif op == "status":
+            await self._op_status(frame, writer)
+        elif op == "submit":
+            await self._op_submit(frame, writer)
+        elif op == "subscribe":
+            await self._op_subscribe(frame, writer)
+        elif op == "drain":
+            await self._send(
+                writer,
+                ok_frame(draining=True, retry_after=self.scheduler.queue.retry_after()),
+            )
+            self._signal_shutdown()
+        else:
+            await self._send(
+                writer, error_frame(BAD_REQUEST, f"unknown op {op!r}")
+            )
+
+    def _lookup(self, frame: dict) -> Job | None:
+        job_id = frame.get("job")
+        if not isinstance(job_id, str):
+            return None
+        return self.scheduler.jobs.get(job_id)
+
+    def _final_frame(self, job: Job) -> dict:
+        """The terminal frame of a wait/stream exchange."""
+        fields: dict[str, Any] = {
+            "job": job.id,
+            "done": True,
+            "state": job.state,
+            "cached": job.cached,
+        }
+        if job.result is not None:
+            fields["result"] = job.result
+            fields["digest"] = fingerprint_digest(
+                SimulationResult.from_dict(job.result)
+            )
+        if job.error is not None:
+            fields["error"] = job.error
+        return ok_frame(**fields)
+
+    async def _op_status(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        job = self._lookup(frame)
+        if job is None:
+            await self._send(
+                writer, error_frame(NOT_FOUND, f"unknown job {frame.get('job')!r}")
+            )
+            return
+        fields = job.describe()
+        if frame.get("result") and job.result is not None:
+            fields["result"] = job.result
+            fields["digest"] = fingerprint_digest(
+                SimulationResult.from_dict(job.result)
+            )
+        await self._send(writer, ok_frame(**fields))
+
+    async def _op_submit(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        if self.draining:
+            await self._send(
+                writer,
+                error_frame(
+                    DRAINING,
+                    "service is draining; resubmit after restart",
+                    retry_after=self.scheduler.queue.retry_after(),
+                ),
+            )
+            return
+        client = str(frame.get("client") or "anon")
+        try:
+            spec = JobSpec.from_dict(frame)
+        except ProtocolError as defect:
+            await self._send(writer, error_frame(BAD_REQUEST, str(defect)))
+            return
+        try:
+            job, extra = self.scheduler.submit(spec, client)
+        except AdmissionRefused as refusal:
+            await self._send(
+                writer,
+                error_frame(
+                    TOO_MANY_JOBS, refusal.reason, retry_after=refusal.retry_after
+                ),
+            )
+            return
+        except ProtocolError as defect:
+            await self._send(writer, error_frame(BAD_REQUEST, str(defect)))
+            return
+        await self._send(
+            writer, ok_frame(ACCEPTED, job=job.id, state=job.state, **extra)
+        )
+        if frame.get("stream"):
+            await self._stream(job, writer)
+        elif frame.get("wait"):
+            await self.scheduler.wait(job.id)
+            await self._send(writer, self._final_frame(job))
+
+    async def _op_subscribe(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+        job = self._lookup(frame)
+        if job is None:
+            await self._send(
+                writer, error_frame(NOT_FOUND, f"unknown job {frame.get('job')!r}")
+            )
+            return
+        await self._send(writer, ok_frame(job=job.id, state=job.state, subscribed=True))
+        await self._stream(job, writer)
+
+    async def _stream(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Replay history, then live events, ending with the final frame."""
+        queue = self.scheduler.subscribe(job.id)
+        try:
+            while True:
+                event = await queue.get()
+                if event.get("event") == "end":
+                    break
+                await self._send(writer, ok_frame(job=job.id, event=event))
+            await self._send(writer, self._final_frame(job))
+        finally:
+            self.scheduler.unsubscribe(job.id, queue)
+
+
+async def run_server(
+    config: ServiceConfig | None = None,
+    *,
+    store: ResultStore | str | os.PathLike | None = None,
+) -> int:
+    """Run one daemon until it drains; the ``repro serve`` body."""
+    server = ServiceServer(config, store=store)
+    await server.serve_forever()
+    return 0

@@ -180,3 +180,123 @@ class TestResilienceCommands:
         out = capsys.readouterr().out
         assert "bit-identical resume" in out and "yes" in out
         assert out_path.exists()
+
+
+class TestSweepAndConfigsEntryPoints:
+    """Exit codes, progress output, and cache telemetry for the batch
+    entry points (`repro sweep`, `repro configs`)."""
+
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.configs == "baseline,softwalker"
+        assert args.jobs is None and args.store is None
+
+    def test_configs_lists_registry(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "softwalker" in out
+        assert "description" in out
+
+    def test_sweep_prints_progress_and_cache_telemetry(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--configs",
+                    "baseline,softwalker",
+                    "--benchmarks",
+                    "gups",
+                    "--scale",
+                    "0.05",
+                    "--store",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out  # progress lines
+        assert "speedup" in out and "fingerprint" in out
+        assert "cache: 2 simulations" in out
+        assert "2 entries" in out and "bytes" in out  # store telemetry
+
+    def test_sweep_second_run_hits_disk(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--configs", "baseline", "--benchmarks", "gups",
+            "--scale", "0.05", "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 simulations" in out
+        assert "1 disk hits" in out
+
+    def test_sweep_rejects_unknown_config(self, capsys):
+        assert main(["sweep", "--configs", "warp-drive"]) == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_benchmark(self, capsys):
+        assert main(["sweep", "--benchmarks", "doom"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_console_entry_points_exit_codes(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.pathsep.join(
+                filter(
+                    None,
+                    [os.path.abspath("src"), os.environ.get("PYTHONPATH")],
+                )
+            ),
+        )
+        ok = subprocess.run(
+            [sys.executable, "-m", "repro", "configs"],
+            env=env, capture_output=True, text=True,
+        )
+        assert ok.returncode == 0 and "baseline" in ok.stdout
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "--configs", "nope"],
+            env=env, capture_output=True, text=True,
+        )
+        assert bad.returncode == 2 and "unknown configuration" in bad.stderr
+        usage = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            env=env, capture_output=True, text=True,
+        )
+        assert usage.returncode == 2 and "usage" in usage.stderr
+
+
+class TestServiceParsers:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.socket is None and args.max_inflight is None
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "gups"])
+        assert args.config == "baseline"
+        assert args.priority == "normal"
+        assert not args.wait and not args.stream
+
+    def test_submit_rejects_bad_priority(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "gups", "--priority", "asap"])
+
+    def test_jobs_parser(self):
+        args = build_parser().parse_args(["jobs", "--stats"])
+        assert args.stats is True
+
+    def test_submit_against_dead_socket_fails_cleanly(self, tmp_path, capsys):
+        assert (
+            main(["submit", "gups", "--socket", str(tmp_path / "none.sock")])
+            == 1
+        )
+        assert "error" in capsys.readouterr().err
+
+    def test_jobs_against_dead_socket_fails_cleanly(self, tmp_path, capsys):
+        assert main(["jobs", "--socket", str(tmp_path / "none.sock")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -146,6 +146,18 @@ class TestRunnerFacade:
         with pytest.warns(DeprecationWarning, match="run_workload"):
             run_workload(baseline_config(), "gups", scale=TINY)
 
+    def test_run_cached_module_shim_warns_deprecation(self):
+        from repro.harness.runner import run_cached
+
+        with pytest.warns(DeprecationWarning, match="run_cached"):
+            run_cached(baseline_config(), "gups", scale=TINY)
+
+    def test_run_matrix_module_shim_warns_deprecation(self):
+        from repro.harness.runner import run_matrix
+
+        with pytest.warns(DeprecationWarning, match="run_matrix"):
+            run_matrix({"base": baseline_config()}, ["gups"], scale=TINY)
+
 
 class TestTraceExportUnderSweep:
     def test_trace_export_skips_claimed_slots(self, monkeypatch, tmp_path):

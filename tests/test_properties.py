@@ -151,3 +151,99 @@ class TestSimulatorInvariants:
         assert result.instructions + result.pw_instructions <= (
             result.cycles * config.num_sms
         )
+
+
+# ----------------------------------------------------------------------
+# Serialisation round-trips (the wire/store contracts of the service
+# and the persistent result store)
+# ----------------------------------------------------------------------
+
+import json
+
+from repro.gpu.gpu import SimulationResult
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+@st.composite
+def fault_plans(draw):
+    specs = draw(
+        st.lists(
+            st.builds(
+                FaultSpec,
+                kind=st.sampled_from(FAULT_KINDS),
+                time=st.integers(min_value=0, max_value=10**7),
+                duration=st.integers(min_value=0, max_value=10**4),
+                magnitude=st.integers(min_value=0, max_value=64),
+                vpn=st.none() | st.integers(min_value=0, max_value=2**36),
+            ),
+            max_size=12,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return FaultPlan(seed=seed, faults=tuple(specs))
+
+
+@st.composite
+def simulation_results(draw):
+    stats = StatsRegistry()
+    for name, amount in draw(
+        st.dictionaries(
+            st.sampled_from(["walks", "tlb.hits", "tlb.misses", "mshr.fail"]),
+            st.integers(min_value=0, max_value=10**9),
+            max_size=4,
+        )
+    ).items():
+        stats.counters.add(name, amount)
+    for value, weight in draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**6),
+                st.integers(min_value=1, max_value=1000),
+            ),
+            max_size=8,
+        )
+    ):
+        stats.histogram("walk_latency").record(value, weight)
+    for queueing, access in draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**5),
+                st.integers(min_value=0, max_value=10**5),
+            ),
+            max_size=6,
+        )
+    ):
+        stats.latency("walk").record(queueing=queueing, access=access)
+    return SimulationResult(
+        workload=draw(st.text(min_size=1, max_size=16)),
+        cycles=draw(st.integers(min_value=0, max_value=10**12)),
+        instructions=draw(st.integers(min_value=0, max_value=10**12)),
+        pw_instructions=draw(st.integers(min_value=0, max_value=10**10)),
+        stats=stats,
+        num_sms=draw(st.integers(min_value=1, max_value=128)),
+        stall_cycles=draw(st.integers(min_value=0, max_value=10**12)),
+        memory_wait_cycles=draw(st.integers(min_value=0, max_value=10**12)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        complete=draw(st.booleans()),
+    )
+
+
+class TestSerialisationRoundTrips:
+    @given(fault_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_fault_plan_json_round_trip_is_lossless(self, plan):
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        # And stable: a second trip produces identical JSON bytes.
+        assert restored.to_json() == plan.to_json()
+
+    @given(simulation_results())
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_result_json_round_trip_is_lossless(self, result):
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = SimulationResult.from_dict(wire)
+        assert restored.fingerprint() == result.fingerprint()
+        assert restored.to_dict() == result.to_dict()
+        assert restored.cycles == result.cycles
+        assert restored.complete == result.complete
+        assert restored.stats.counters.as_dict() == result.stats.counters.as_dict()

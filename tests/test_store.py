@@ -86,6 +86,36 @@ class TestResultStore:
         assert store.load(point.store_key()) is None
         assert store.evictions == 1 and not path.exists()
 
+    def test_eviction_logs_a_warning(self, tmp_path, result, point, caplog):
+        store = ResultStore(tmp_path / "store")
+        path = store.store(point.store_key(), result)
+        path.write_text("{not json", encoding="utf-8")
+        with caplog.at_level("WARNING", logger="repro.harness.store"):
+            assert store.load(point.store_key()) is None
+        assert any(
+            "evicting corrupt result-store entry" in record.message
+            for record in caplog.records
+        )
+
+    def test_size_bytes_tracks_entries(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        assert store.size_bytes() == 0
+        path = store.store(point.store_key(), result)
+        assert store.size_bytes() == path.stat().st_size
+        info = store.info()
+        assert info["size_bytes"] == store.size_bytes()
+        assert info["evictions"] == 0
+
+    def test_runner_cache_info_surfaces_store_telemetry(
+        self, tmp_path, result, point
+    ):
+        runner = Runner(store=tmp_path / "store")
+        runner.run_cached(baseline_config(), "gups", scale=TINY)
+        info = runner.cache_info()
+        assert info["disk_entries"] == 1
+        assert info["disk_bytes"] > 0
+        assert info["disk_evictions"] == 0
+
     def test_clear_and_info(self, tmp_path, result, point):
         store = ResultStore(tmp_path / "store")
         store.store(point.store_key(), result)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Service-daemon smoke check (the CI gate for ``repro serve``).
+
+Boots a real daemon subprocess on a throwaway socket and proves the
+four service guarantees end to end, in under two minutes:
+
+1. **Dedupe** — submitting the same spec twice runs one simulation and
+   hands both callers byte-identical fingerprints; after a daemon
+   restart the same spec completes instantly from the result store.
+2. **Backpressure** — submissions beyond the admission bound get an
+   immediate 429 reply with a ``retry_after`` hint, never a hang.
+3. **Streaming** — a waiting submission sees heartbeat progress frames
+   (cycle, events, warps remaining, sampled gauges) before the
+   terminal result frame.
+4. **Drain/resume** — SIGTERM with a job in flight persists the queue;
+   a restarted daemon resumes the same job id and completes it.
+
+Usage:
+    python tools/service_smoke.py [--scale S] [--long-scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import Backpressure, JobSpec, ServiceClient  # noqa: E402
+
+CHECKS: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f" — {detail}" if detail else ""))
+    CHECKS.append(label)
+    if not ok:
+        sys.exit(1)
+
+
+def start_daemon(socket_path: str, store: str, *args: str) -> subprocess.Popen:
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(
+            filter(
+                None,
+                [
+                    os.path.join(os.path.dirname(__file__), "..", "src"),
+                    os.environ.get("PYTHONPATH"),
+                ],
+            )
+        ),
+        REPRO_SOCKET=socket_path,
+        REPRO_STORE=store,
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--drain-grace", "1", *args],
+        env=env,
+    )
+    ServiceClient(socket_path).wait_until_up(15.0)
+    return process
+
+
+def stop_daemon(process: subprocess.Popen) -> int:
+    process.terminate()
+    return process.wait(timeout=30)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument(
+        "--long-scale",
+        type=float,
+        default=2.0,
+        help="scale of the job used to keep a worker busy",
+    )
+    args = parser.parse_args()
+    started = time.monotonic()
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as root:
+        socket_path = os.path.join(root, "svc.sock")
+        store = os.path.join(root, "store")
+        state_path = socket_path + ".state.json"
+
+        # --- 1. dedupe ------------------------------------------------
+        daemon = start_daemon(
+            socket_path, store, "--max-inflight", "1", "--max-depth", "2"
+        )
+        spec = JobSpec(benchmark="gups", scale=args.scale, seed=7)
+        first = ServiceClient(socket_path, client_name="a").submit(spec, wait=True)
+        second = ServiceClient(socket_path, client_name="b").submit(spec, wait=True)
+        stats = ServiceClient(socket_path).stats()
+        check(
+            "duplicate submission attaches instead of re-running",
+            second["job"] == first["job"] and stats["simulations"] == 1,
+            f"{stats['simulations']} simulation(s) for 2 submissions",
+        )
+        check(
+            "duplicate callers get byte-identical fingerprints",
+            second["digest"] == first["digest"],
+            first["digest"][:16],
+        )
+
+        # --- 2. streaming --------------------------------------------
+        events: list[dict] = []
+        ServiceClient(socket_path, client_name="s").submit(
+            JobSpec(benchmark="gups", scale=0.4, seed=99, priority="high"),
+            wait=True,
+            on_event=events.append,
+        )
+        beats = [e for e in events if e.get("event") == "progress"]
+        check(
+            "waiting submission streams heartbeat frames",
+            bool(beats) and all("gauges" in beat for beat in beats),
+            f"{len(beats)} heartbeat(s)",
+        )
+
+        # --- 3. backpressure -----------------------------------------
+        busy = ServiceClient(socket_path, client_name="busy")
+        busy.submit(JobSpec(benchmark="gups", scale=args.long_scale, seed=1))
+        refused_fast = False
+        hint = 0.0
+        bounce_started = time.monotonic()
+        try:
+            # One long job is in flight; the queue bound is 2, so the
+            # third queued submission must bounce.
+            for seed in range(2, 7):
+                busy.submit(
+                    JobSpec(benchmark="gups", scale=args.long_scale, seed=seed)
+                )
+        except Backpressure as refusal:
+            refused_fast = time.monotonic() - bounce_started < 5.0
+            hint = refusal.retry_after
+        check(
+            "saturated queue answers 429 immediately, never hangs",
+            refused_fast and hint > 0,
+            f"retry_after={hint:g}s",
+        )
+
+        # --- 4. drain / resume ---------------------------------------
+        exit_code = stop_daemon(daemon)
+        check(
+            "SIGTERM drains and persists the still-queued backlog",
+            exit_code == 0 and os.path.exists(state_path),
+            f"exit={exit_code}",
+        )
+        persisted = json.load(open(state_path))["jobs"]
+        resumed_id = persisted[0]["id"]
+
+        daemon = start_daemon(socket_path, store, "--max-inflight", "2")
+        client = ServiceClient(socket_path)
+        final = client.subscribe(resumed_id)
+        check(
+            "restarted daemon resumes the persisted job to completion",
+            final["state"] == "done" and bool(final.get("digest")),
+            resumed_id,
+        )
+
+        # cached completion after restart (store hit, no worker)
+        ack = client.submit(spec)
+        check(
+            "restart serves known specs straight from the result store",
+            ack.get("cached") is True,
+        )
+        stop_daemon(daemon)
+
+    elapsed = time.monotonic() - started
+    print(f"\nservice smoke: {len(CHECKS)} checks passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
