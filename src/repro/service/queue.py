@@ -248,6 +248,7 @@ class JobQueue:
                 f"(per-client bound {self.max_client_depth})",
                 self.retry_after(),
             )
+        self.admitted += 1
 
     def record_runtime(self, seconds: float) -> None:
         """Feed one completed job's wall-clock into the EMA."""
@@ -260,14 +261,18 @@ class JobQueue:
     # Queue operations
     # ------------------------------------------------------------------
     def push(self, job: Job) -> None:
-        """Enqueue an admitted job (call :meth:`admit` first)."""
+        """Enqueue a job.
+
+        ``push`` is also the re-entry point for drain-requeued and
+        resumed jobs, so it does not count toward ``admitted`` — only
+        :meth:`admit` (the actual admission decision) does.
+        """
         lane = self._lanes[job.spec.priority]
         if job.client not in lane:
             lane[job.client] = deque()
         lane[job.client].append(job)
         self._depth += 1
         self._per_client[job.client] = self._per_client.get(job.client, 0) + 1
-        self.admitted += 1
 
     def pop(self) -> Job | None:
         """Next job by priority then client round-robin; None if empty."""

@@ -234,6 +234,17 @@ class Scheduler:
                         if proc is not None and proc.is_alive():
                             proc.kill()
                     await asyncio.wait(pending, timeout=HARD_KILL_SLACK)
+        # Everything left queued (never dispatched, or just requeued)
+        # rides the persisted snapshot into the next daemon; tell any
+        # blocked waiters/subscribers now instead of letting them hang
+        # until the socket closes under them.
+        for job in self.queue:
+            done = self._done.get(job.id)
+            if done is not None and done.is_set():
+                continue  # the requeue path already notified this one
+            self._publish(job, {"event": "requeued"})
+            if done is not None:
+                done.set()
 
     # ------------------------------------------------------------------
     # Submission (dedupe + admission)
@@ -297,6 +308,11 @@ class Scheduler:
                 job = self.queue.pop()
                 if job is None:
                     break
+                # Reserve the worker slot synchronously: _run_job only
+                # starts once this loop yields, so marking there would
+                # let a burst (resume, freed slot with a backlog) blow
+                # straight through max_inflight.
+                self.queue.mark_running(job)
                 task = asyncio.create_task(self._run_job(job))
                 self._run_tasks[job.id] = task
                 task.add_done_callback(
@@ -329,11 +345,12 @@ class Scheduler:
         return self.config.job_timeout * attempts + backoff + HARD_KILL_SLACK
 
     async def _run_job(self, job: Job) -> None:
+        """Run one dispatched job (its slot is already reserved by the
+        dispatch loop via ``mark_running``)."""
         loop = asyncio.get_running_loop()
         job.state = "running"
         job.started_at = time.time()
         job.dispatches += 1
-        self.queue.mark_running(job)
         self._publish(job, {"event": "started", "dispatch": job.dispatches})
 
         ctx = pool_context()
@@ -405,7 +422,13 @@ class Scheduler:
             job.state = "queued"
             job.started_at = None
             self.queue.push(job)
+            # "requeued" is a stream-terminal event: the server turns it
+            # into a 503 drain notice, and waiters unblock now instead
+            # of hanging until the socket closes under them.
             self._publish(job, {"event": "requeued"})
+            done = self._done.get(job.id)
+            if done is not None:
+                done.set()
             return
         self._requeue_on_death.discard(job.id)
         job.finished_at = time.time()

@@ -71,6 +71,7 @@ class ServiceServer:
         self._server: asyncio.base_events.Server | None = None
         self._stopped: asyncio.Event | None = None
         self._shutdown_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
 
     @property
     def draining(self) -> bool:
@@ -98,12 +99,15 @@ class ServiceServer:
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
-        self.scheduler.start()
-        self.scheduler.load_state()
         directory = os.path.dirname(self.config.socket_path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        # Claim the socket before load_state(): loading consumes the
+        # persisted queue snapshot, and a second daemon refused here
+        # must never have eaten the live daemon's resume state first.
         self._claim_socket()
+        self.scheduler.start()
+        self.scheduler.load_state()
         self._server = await asyncio.start_unix_server(
             self._handle_client, path=self.config.socket_path, limit=MAX_FRAME_BYTES
         )
@@ -142,6 +146,11 @@ class ServiceServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # Give open connections a moment to flush their terminal frames
+        # (drain notices to waiters) before the process goes away.
+        flushing = [task for task in self._conn_tasks if not task.done()]
+        if flushing:
+            await asyncio.wait(flushing, timeout=5.0)
         try:
             os.unlink(self.config.socket_path)
         except OSError:
@@ -155,6 +164,10 @@ class ServiceServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         try:
             while True:
                 try:
@@ -262,6 +275,18 @@ class ServiceServer:
             fields["error"] = job.error
         return ok_frame(**fields)
 
+    def _drain_notice(self, job: Job) -> dict:
+        """Terminal frame for a job requeued by a drain: the daemon is
+        going down, the job will resume when the next one loads the
+        persisted queue."""
+        return error_frame(
+            DRAINING,
+            "job requeued during drain; it resumes when the daemon restarts",
+            job=job.id,
+            state=job.state,
+            retry_after=self.scheduler.queue.retry_after(),
+        )
+
     async def _op_status(self, frame: dict, writer: asyncio.StreamWriter) -> None:
         job = self._lookup(frame)
         if job is None:
@@ -314,7 +339,10 @@ class ServiceServer:
             await self._stream(job, writer)
         elif frame.get("wait"):
             await self.scheduler.wait(job.id)
-            await self._send(writer, self._final_frame(job))
+            if job.done:
+                await self._send(writer, self._final_frame(job))
+            else:  # unblocked by a drain-time requeue, not a result
+                await self._send(writer, self._drain_notice(job))
 
     async def _op_subscribe(self, frame: dict, writer: asyncio.StreamWriter) -> None:
         job = self._lookup(frame)
@@ -332,10 +360,14 @@ class ServiceServer:
         try:
             while True:
                 event = await queue.get()
-                if event.get("event") == "end":
-                    break
+                kind = event.get("event")
+                if kind == "end":
+                    await self._send(writer, self._final_frame(job))
+                    return
+                if kind == "requeued":
+                    await self._send(writer, self._drain_notice(job))
+                    return
                 await self._send(writer, ok_frame(job=job.id, event=event))
-            await self._send(writer, self._final_frame(job))
         finally:
             self.scheduler.unsubscribe(job.id, queue)
 

@@ -221,6 +221,85 @@ class TestDrainResume:
             assert status["dispatches"] == 2
         assert not state_path.exists()  # snapshot is consumed, not replayed
 
+    def test_waiting_client_gets_drain_notice_not_a_hang(self, tmp_path):
+        """A client blocked in ``submit --wait`` when the daemon drains
+        must receive a meaningful 503 drain notice (the job was requeued
+        and will resume), not a generic stream-closed 500."""
+        import threading
+
+        with daemon(tmp_path, "--max-inflight", "1") as (process, client):
+            outcome = {}
+
+            def waiter():
+                try:
+                    outcome["final"] = client.submit(
+                        JobSpec(benchmark="gups", scale=LONG, seed=77), wait=True
+                    )
+                except ServiceError as refusal:
+                    outcome["error"] = refusal
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                watcher = ServiceClient(client.socket_path, client_name="watch")
+                jobs = watcher.jobs()
+                if jobs and jobs[0]["state"] == "running":
+                    break
+                time.sleep(0.1)
+            process.terminate()  # SIGTERM while the waiter is blocked
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert process.wait(timeout=30) == 0
+            refusal = outcome.get("error")
+            assert refusal is not None, f"expected a drain notice, got {outcome}"
+            assert refusal.code == 503
+            assert "requeued" in refusal.error
+            assert refusal.frame.get("state") == "queued"
+
+    def test_refused_second_daemon_preserves_queue_state(self, tmp_path):
+        """A second daemon refused the socket must exit *before* touching
+        the persisted queue snapshot — losing it would drop jobs."""
+        state_path = tmp_path / "svc.sock.state.json"
+        with daemon(tmp_path) as (_process, client):
+            snapshot = {
+                "version": 1,
+                "jobs": [
+                    {
+                        "id": "j-preserve-me",
+                        "spec": {"benchmark": "gups"},
+                        "key": "k-preserve",
+                        "client": "anon",
+                        "submitted_at": 0.0,
+                        "dispatches": 1,
+                    }
+                ],
+            }
+            state_path.write_text(json.dumps(snapshot))
+            env = dict(
+                os.environ,
+                PYTHONPATH=os.pathsep.join(
+                    filter(
+                        None,
+                        [os.path.abspath("src"), os.environ.get("PYTHONPATH")],
+                    )
+                ),
+                REPRO_SOCKET=str(tmp_path / "svc.sock"),
+                REPRO_STORE=str(tmp_path / "store"),
+            )
+            second = subprocess.run(
+                [sys.executable, "-m", "repro", "serve"],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert second.returncode != 0
+            assert "already serving" in second.stderr + second.stdout
+            # The live daemon is untouched and the snapshot survived.
+            assert client.ping()["ok"]
+            assert json.loads(state_path.read_text()) == snapshot
+
     def test_clean_drain_with_empty_queue_leaves_no_state(self, tmp_path):
         state_path = tmp_path / "svc.sock.state.json"
         with daemon(tmp_path) as (process, client):

@@ -174,6 +174,22 @@ class TestJobQueue:
     def test_pop_empty_returns_none(self):
         assert JobQueue().pop() is None
 
+    def test_admitted_counts_admission_decisions_only(self):
+        """Drain-requeued and resumed jobs re-enter via push() alone;
+        only admit() — the actual admission decision — counts."""
+        queue = JobQueue(max_depth=4, max_client_depth=4)
+        queue.admit("a")
+        queue.push(make_job("a", client="a"))
+        assert queue.info()["admitted"] == 1
+        job = queue.pop()
+        queue.push(job)  # e.g. a drain-time requeue
+        assert queue.info()["admitted"] == 1
+        refusing = JobQueue(max_depth=0)
+        with pytest.raises(AdmissionRefused):
+            refusing.admit("a")
+        assert refusing.info()["admitted"] == 0
+        assert refusing.info()["refused"] == 1
+
     def test_snapshot_restore_round_trip(self):
         queue = JobQueue(max_depth=10, max_client_depth=10)
         queue.push(make_job("a", client="x"))

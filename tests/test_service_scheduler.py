@@ -1,0 +1,135 @@
+"""Unit tests for the Scheduler's dispatch bookkeeping.
+
+These run the real dispatch loop in-process with a stubbed-out
+``_run_job`` body, so they can assert scheduling invariants (the
+in-flight bound, drain-time waiter notification) without forking
+worker processes.
+"""
+
+import asyncio
+
+from repro.config import ServiceConfig
+from repro.service.protocol import JobSpec
+from repro.service.scheduler import Scheduler
+
+
+def make_scheduler(**overrides) -> Scheduler:
+    defaults = dict(max_inflight=2, max_depth=32, max_client_depth=32)
+    defaults.update(overrides)
+    return Scheduler(config=ServiceConfig(**defaults))
+
+
+class TestInflightBound:
+    def test_burst_never_exceeds_max_inflight(self, monkeypatch):
+        """Queueing far more jobs than worker slots must never run more
+        than ``max_inflight`` concurrently.  The slot reservation has to
+        happen synchronously inside the dispatch loop — if it waited for
+        the run task to start, a burst (resume, freed slot with a
+        backlog) would dispatch the whole queue at once."""
+
+        async def scenario():
+            sched = make_scheduler(max_inflight=2)
+            current = 0
+            peak = 0
+
+            async def fake_run(job):
+                nonlocal current, peak
+                current += 1
+                peak = max(peak, current)
+                await asyncio.sleep(0.02)
+                current -= 1
+                sched.queue.mark_finished(job)
+                sched._finish(job, result={"stub": True}, report=None, error=None)
+
+            monkeypatch.setattr(sched, "_run_job", fake_run)
+            sched.start()
+            jobs = [
+                sched.submit(JobSpec(benchmark="gups", seed=seed))[0]
+                for seed in range(8)
+            ]
+            await asyncio.gather(*(sched.wait(job.id) for job in jobs))
+            assert all(job.state == "done" for job in jobs)
+            await sched.drain(grace=0.1)
+            return peak
+
+        peak = asyncio.run(scenario())
+        assert peak == 2  # both slots used, never a third
+
+    def test_inflight_reserved_before_run_task_starts(self, monkeypatch):
+        """The reservation is visible to ``has_slot`` before any run
+        task has had a chance to execute."""
+
+        async def scenario():
+            sched = make_scheduler(max_inflight=1)
+            started = asyncio.Event()
+
+            async def fake_run(job):
+                started.set()
+                await asyncio.sleep(3600)  # parked; never finishes
+
+            monkeypatch.setattr(sched, "_run_job", fake_run)
+            sched.start()
+            for seed in range(4):
+                sched.submit(JobSpec(benchmark="gups", seed=seed))
+            await asyncio.wait_for(started.wait(), timeout=5.0)
+            # One job dispatched (slot taken), three still queued.
+            assert len(sched.queue.inflight) == 1
+            assert sched.queue.depth == 3
+            assert not sched.queue.has_slot()
+            for task in sched._run_tasks.values():
+                task.cancel()
+            if sched._dispatcher is not None:
+                sched._dispatcher.cancel()
+
+        asyncio.run(scenario())
+
+
+class TestDrainNotifiesWaiters:
+    def test_queued_job_waiter_unblocks_with_requeued_event(self):
+        """A drain must settle waiters on still-queued jobs — they get a
+        terminal 'requeued' event instead of hanging until the socket
+        closes under them."""
+
+        async def scenario():
+            sched = make_scheduler()
+            sched.start()
+            sched.draining = True  # dispatcher will not pick the job up
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=1))
+            waiter = asyncio.create_task(sched.wait(job.id))
+            await asyncio.sleep(0)  # let the waiter block on the event
+            assert not waiter.done()
+            await sched.drain(grace=0.1)
+            awaited = await asyncio.wait_for(waiter, timeout=5.0)
+            assert awaited.state == "queued"  # persisted, not failed
+            assert awaited.events[-1]["event"] == "requeued"
+            # The snapshot still carries the job for the next daemon.
+            assert [j["id"] for j in sched.queue.snapshot()["jobs"]] == [job.id]
+
+        asyncio.run(scenario())
+
+    def test_drain_does_not_double_publish_requeued(self, monkeypatch):
+        """A job requeued by the in-flight path is already notified;
+        the end-of-drain sweep must not publish a second terminal."""
+
+        async def scenario():
+            sched = make_scheduler(max_inflight=1)
+
+            async def fake_run(job):
+                await asyncio.sleep(3600)
+
+            monkeypatch.setattr(sched, "_run_job", fake_run)
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=2))
+            await asyncio.sleep(0.05)  # let it dispatch
+            # Simulate the in-flight requeue path having already settled it.
+            sched._requeue_on_death.add(job.id)
+            sched._run_tasks.pop(job.id, None).cancel()
+            sched.queue.mark_finished(job)
+            sched._finish(job, result=None, report=None, error=None)
+            await sched.drain(grace=0.1)
+            requeues = [
+                e for e in job.events if e.get("event") == "requeued"
+            ]
+            assert len(requeues) == 1
+
+        asyncio.run(scenario())
