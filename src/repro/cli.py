@@ -24,7 +24,7 @@ import sys
 from typing import Callable, Sequence
 
 from repro.analysis.report import format_table
-from repro.config import DEFAULT_CONFIGS, baseline_config
+from repro.config import DEFAULT_CONFIGS, GPUConfig, baseline_config
 from repro.harness import experiments
 from repro.harness.pool import SweepPoint, matrix_points
 from repro.harness.runner import Runner, default_runner
@@ -83,7 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     run_parser.add_argument("benchmark", choices=ALL_ABBRS)
     run_parser.add_argument(
-        "--config", choices=sorted(CONFIGS), default="baseline"
+        "--config",
+        default="baseline",
+        help=(
+            "configuration name (see `repro configs`) or @file.json "
+            "with an inline config dict"
+        ),
     )
     run_parser.add_argument("--scale", type=float, default=1.0)
 
@@ -110,7 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--configs",
         default="baseline,softwalker",
-        help="comma-separated configuration names (see `repro configs`)",
+        help=(
+            "comma-separated configuration names (see `repro configs`); "
+            "a @file.json token loads an inline config dict"
+        ),
     )
     sweep_parser.add_argument(
         "--benchmarks",
@@ -235,7 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit_parser.add_argument("benchmark", choices=ALL_ABBRS)
     submit_parser.add_argument(
-        "--config", choices=sorted(CONFIGS), default="baseline"
+        "--config",
+        default="baseline",
+        help=(
+            "configuration name (see `repro configs`) or @file.json "
+            "with an inline config dict (sent by value, deduped by "
+            "fingerprint against named submissions)"
+        ),
     )
     submit_parser.add_argument("--scale", type=float, default=1.0)
     submit_parser.add_argument("--footprint-scale", type=float, default=1.0)
@@ -265,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print service stats instead"
     )
     return parser
+
+
+def resolve_config_arg(token: str) -> GPUConfig:
+    """Resolve one ``--config`` token into a concrete configuration.
+
+    ``@path.json`` loads an inline config dict (any subset of
+    ``GPUConfig.to_dict()`` keys); anything else is a registry name.
+    Raises KeyError / OSError / ValueError with a printable message.
+    """
+    if token.startswith("@"):
+        import json
+
+        with open(token[1:]) as handle:
+            return GPUConfig.from_dict(json.load(handle))
+    return CONFIGS.get(token)
+
+
+def _error_text(failure: BaseException) -> str:
+    """The message without KeyError's repr-quoting."""
+    if isinstance(failure, KeyError) and failure.args:
+        return str(failure.args[0])
+    return str(failure)
 
 
 def cmd_list() -> int:
@@ -298,7 +334,11 @@ def cmd_configs() -> int:
 
 
 def cmd_run(benchmark: str, config_name: str, scale: float) -> int:
-    config = CONFIGS[config_name]()
+    try:
+        config = resolve_config_arg(config_name)
+    except (KeyError, OSError, ValueError) as failure:
+        print(f"error: {_error_text(failure)}", file=sys.stderr)
+        return 2
     result = default_runner().run(config, benchmark, scale=scale)
     spec = get_spec(benchmark)
     rows = [
@@ -373,14 +413,13 @@ def cmd_sweep(
     jobs: int | None,
     store: str | None,
 ) -> int:
-    unknown = [name for name in config_names if name not in CONFIGS]
-    if unknown:
-        print(
-            f"error: unknown configuration(s) {', '.join(unknown)} — "
-            "see `repro configs`",
-            file=sys.stderr,
-        )
-        return 2
+    configs: dict[str, GPUConfig] = {}
+    for token in config_names:
+        try:
+            configs[token] = resolve_config_arg(token)
+        except (KeyError, OSError, ValueError) as failure:
+            print(f"error: {_error_text(failure)}", file=sys.stderr)
+            return 2
     unknown = [name for name in benchmark_names if name not in ALL_ABBRS]
     if unknown:
         print(
@@ -393,7 +432,6 @@ def cmd_sweep(
     runner = Runner(store=store) if store else default_runner()
     if jobs is not None:
         runner.jobs = jobs
-    configs = {name: CONFIGS[name]() for name in config_names}
     points = matrix_points(
         configs.values(), benchmark_names, scale=scale, seed=seed
     )
@@ -671,9 +709,18 @@ def cmd_submit(
 ) -> int:
     from repro.service import Backpressure, JobSpec, ServiceClient, ServiceError
 
+    config: str | GPUConfig = config_name
+    if config_name.startswith("@"):
+        # Inline configs travel by value; named ones stay a small
+        # registry-name string for the server to resolve.
+        try:
+            config = resolve_config_arg(config_name)
+        except (OSError, ValueError) as failure:
+            print(f"error: {_error_text(failure)}", file=sys.stderr)
+            return 2
     spec = JobSpec(
         benchmark=benchmark,
-        config=config_name,
+        config=config,
         scale=scale,
         footprint_scale=footprint_scale,
         seed=seed,
@@ -782,11 +829,17 @@ def cmd_jobs(socket_path: str | None, stats: bool) -> int:
     if not jobs:
         print("no jobs")
         return 0
+    def spec_label(spec: dict) -> str:
+        config = spec.get("config", "baseline")
+        if isinstance(config, dict):
+            config = "inline"
+        return f"{config}/{spec['benchmark']}"
+
     rows = [
         [
             job["job"],
             job["state"],
-            f"{job['spec'].get('config', 'baseline')}/{job['spec']['benchmark']}",
+            spec_label(job["spec"]),
             job["priority"],
             job["client"],
             "yes" if job.get("cached") else "",

@@ -10,9 +10,18 @@ memory at 448 GB/s over 16 channels, a four-level radix page table with a
 
 from __future__ import annotations
 
+import difflib
 import os
-from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Callable, Iterator
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Callable, ClassVar, Iterator, Mapping
+
+from repro.arch.registry import (
+    DISTRIBUTOR_POLICIES,
+    PAGE_TABLE_KINDS,
+    PWB_POLICIES,
+    WALK_BACKENDS,
+    load_plugins,
+)
 
 KB = 1024
 MB = 1024 * 1024
@@ -27,8 +36,41 @@ VIRTUAL_ADDRESS_BITS = 49
 PHYSICAL_ADDRESS_BITS = 47
 
 
+def _dataclass_from_dict(cls, data: Mapping) -> Any:
+    """Build a config dataclass from a mapping, rejecting unknown keys.
+
+    Inline config dicts arrive from files, CLI flags, and service
+    sockets; a typoed knob must fail loudly here rather than silently
+    simulate the default.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{cls.__name__} expects a mapping, got {type(data).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, known, n=1)
+            hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)" if close else ""))
+        raise ValueError(f"unknown {cls.__name__} field(s): {', '.join(hints)}")
+    return cls(**data)
+
+
+class SerializableConfig:
+    """Lossless ``to_dict``/``from_dict`` for flat config dataclasses."""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> Any:
+        return _dataclass_from_dict(cls, data)
+
+
 @dataclass(frozen=True)
-class TLBConfig:
+class TLBConfig(SerializableConfig):
     """One TLB level.  ``associativity=0`` means fully associative."""
 
     entries: int
@@ -53,7 +95,7 @@ class TLBConfig:
 
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(SerializableConfig):
     """A data cache level (L1D folded into latency; L2D fully modelled)."""
 
     size_bytes: int
@@ -75,7 +117,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class DRAMConfig:
+class DRAMConfig(SerializableConfig):
     """GDDR6 channel model: fixed access latency plus per-channel bandwidth."""
 
     channels: int = 16
@@ -90,7 +132,7 @@ class DRAMConfig:
 
 
 @dataclass(frozen=True)
-class PageTableConfig:
+class PageTableConfig(SerializableConfig):
     """Radix page-table geometry."""
 
     page_size: int = PAGE_SIZE_64K
@@ -117,7 +159,7 @@ class PageTableConfig:
 
 
 @dataclass(frozen=True)
-class PTWConfig:
+class PTWConfig(SerializableConfig):
     """Hardware page-walk subsystem: walkers, PWB, and page walk cache."""
 
     num_walkers: int = 32
@@ -142,14 +184,16 @@ class PTWConfig:
             raise ValueError("number of walkers cannot be negative")
         if self.num_walkers and self.pwb_entries < 1:
             raise ValueError("PWB needs at least one entry")
-        if self.page_table_kind not in ("radix", "hashed"):
-            raise ValueError(f"unknown page table kind {self.page_table_kind!r}")
-        if self.pwb_policy not in ("fcfs", "sm_batch"):
-            raise ValueError(f"unknown PWB policy {self.pwb_policy!r}")
+        PAGE_TABLE_KINDS.validate(self.page_table_kind)
+        PWB_POLICIES.validate(self.pwb_policy)
 
 
 class DistributorPolicy:
-    """Request Distributor policies evaluated in Figure 26."""
+    """Request Distributor policies evaluated in Figure 26.
+
+    The built-in trio; the authoritative catalogue (including plugin
+    policies) is :data:`repro.arch.registry.DISTRIBUTOR_POLICIES`.
+    """
 
     ROUND_ROBIN = "round_robin"
     RANDOM = "random"
@@ -159,7 +203,7 @@ class DistributorPolicy:
 
 
 @dataclass(frozen=True)
-class SoftWalkerConfig:
+class SoftWalkerConfig(SerializableConfig):
     """SoftWalker: PW Warps, SoftPWB, Request Distributor, In-TLB MSHR."""
 
     enabled: bool = False
@@ -184,8 +228,7 @@ class SoftWalkerConfig:
     simt_lockstep: bool = False
 
     def __post_init__(self) -> None:
-        if self.distributor_policy not in DistributorPolicy.ALL:
-            raise ValueError(f"unknown distributor policy {self.distributor_policy!r}")
+        DISTRIBUTOR_POLICIES.validate(self.distributor_policy)
         if self.enabled and self.pw_threads_per_sm < 1:
             raise ValueError("PW warp needs at least one thread")
         if self.softpwb_entries < self.pw_threads_per_sm:
@@ -256,6 +299,18 @@ class GPUConfig:
     #: and walk, wrong ones pay a squash penalty and walk normally.
     tlb_speculation: bool = False
 
+    #: Explicit walk-backend registry name (``repro.arch.WALK_BACKENDS``),
+    #: letting plugins swap the whole walk subsystem in.  None — the
+    #: default — derives the backend from the SoftWalker knobs exactly as
+    #: the historical assembly did, and is *dropped* from
+    #: :meth:`to_dict`, so every pre-existing config fingerprint stays
+    #: bit-identical.
+    walk_backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.walk_backend is not None:
+            WALK_BACKENDS.validate(self.walk_backend)
+
     def derive(self, **overrides: Any) -> "GPUConfig":
         """Return a copy with top-level fields replaced."""
         return replace(self, **overrides)
@@ -276,6 +331,54 @@ class GPUConfig:
             self,
             page_table=replace(self.page_table, page_size=page_size, levels=levels),
         )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    #: Nested config fields and the dataclass each deserializes into.
+    _NESTED: ClassVar[dict[str, type]] = {}  # filled in below the class body
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe dict; ``from_dict`` inverts it exactly.
+
+        ``walk_backend`` is omitted when None (the default) so the
+        fingerprint of every config that predates the field is
+        unchanged — the golden-fingerprint tests pin this.
+        """
+        data = asdict(self)
+        if self.walk_backend is None:
+            del data["walk_backend"]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GPUConfig":
+        """Rebuild a config from :meth:`to_dict` output (or any subset).
+
+        Missing fields take their defaults; unknown fields raise with a
+        did-you-mean hint; nested sections accept plain mappings.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"GPUConfig expects a mapping, got {type(data).__name__}"
+            )
+        converted = dict(data)
+        for key, sub_cls in cls._NESTED.items():
+            value = converted.get(key)
+            if isinstance(value, Mapping):
+                converted[key] = sub_cls.from_dict(value)
+        return _dataclass_from_dict(cls, converted)
+
+
+GPUConfig._NESTED = {
+    "l1_tlb": TLBConfig,
+    "l2_tlb": TLBConfig,
+    "l1d": CacheConfig,
+    "l2d": CacheConfig,
+    "dram": DRAMConfig,
+    "page_table": PageTableConfig,
+    "ptw": PTWConfig,
+    "softwalker": SoftWalkerConfig,
+}
 
 
 def baseline_config() -> GPUConfig:
@@ -334,9 +437,12 @@ def config_fingerprint(config: GPUConfig) -> dict:
 
     Two configs with equal fingerprints build identical machines, so
     the persistent result store keys simulations on this (plus the
-    workload point) rather than on pickled objects.
+    workload point) rather than on pickled objects.  Delegates to
+    :meth:`GPUConfig.to_dict`, so a named variant and an equivalent
+    inline config dict produce the *same* fingerprint (and therefore
+    hit the same store entry).
     """
-    return asdict(config)
+    return config.to_dict()
 
 
 @dataclass(frozen=True)
@@ -385,8 +491,19 @@ class ConfigRegistry:
         try:
             return self._variants[name]
         except KeyError:
-            known = ", ".join(sorted(self._variants))
-            raise KeyError(f"unknown configuration {name!r}; known: {known}") from None
+            pass
+        # Plugins may register named variants; load and retry once.
+        if load_plugins():
+            try:
+                return self._variants[name]
+            except KeyError:
+                pass
+        known = ", ".join(sorted(self._variants)) or "(none)"
+        message = f"unknown configuration {name!r}; registered: {known}"
+        close = difflib.get_close_matches(name, self._variants, n=1)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        raise KeyError(message) from None
 
     def factory(self, name: str) -> Callable[[], GPUConfig]:
         return self.variant(name).factory

@@ -2,11 +2,12 @@
 
 A *backend* is whatever resolves walk requests for the L2 TLB
 controller: it exposes ``submit(request)`` and fires ``on_complete``
-with the finished request.  Three implementations exist:
-
-* :class:`~repro.ptw.subsystem.HardwareWalkBackend` — baseline PTWs.
-* :class:`SoftWalkerBackend` — Request Distributor + per-SM controllers.
-* :class:`HybridBackend` — hardware first, software overflow (§5.4).
+with the finished request.  Backends are resolved by name through
+:data:`repro.arch.registry.WALK_BACKENDS` — ``"hardware"`` builds
+:class:`~repro.ptw.subsystem.HardwareWalkBackend`, ``"softwalker"``
+and ``"hybrid"`` build the classes here, and plugins may register
+further names (see docs/architecture.md for the backend contract and a
+worked example under ``examples/plugins/``).
 """
 
 from __future__ import annotations

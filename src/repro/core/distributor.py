@@ -4,8 +4,10 @@ Lives beside the L2 TLB.  A per-core counter tracks how many requests
 are outstanding at each SM so walks are only dispatched to cores whose
 PW Warp has room (counter < SoftPWB capacity); when every core is full,
 requests wait in a global overflow queue and drain as FL2T completions
-decrement the counters.  Three selection policies are modelled — the
-paper compares them in Figure 26 and adopts round-robin.
+decrement the counters.  Selection policies are
+:class:`SelectionPolicy` objects resolved by name through
+:data:`repro.arch.registry.DISTRIBUTOR_POLICIES` — the paper compares
+the built-in three in Figure 26 and adopts round-robin.
 """
 
 from __future__ import annotations
@@ -14,9 +16,69 @@ import random
 from collections import deque
 from typing import Callable
 
+from repro.arch.registry import DISTRIBUTOR_POLICIES
 from repro.config import DistributorPolicy
 from repro.ptw.request import WalkRequest
 from repro.sim.stats import StatsRegistry
+
+
+class SelectionPolicy:
+    """Picks which available SM receives the next walk request.
+
+    Subclasses implement :meth:`select`; ``available`` is the non-empty
+    list of SM ids with SoftPWB room, in ascending order, and
+    ``distributor`` grants access to cursor-free machine state (core
+    count, idleness probe).  Policies own any selection state they need
+    (cursor, RNG) so a checkpointed machine deep-copies them along with
+    everything else.  Set ``requires_idleness`` when the policy needs
+    the distributor's idleness probe wired.
+    """
+
+    name = "?"
+    requires_idleness = False
+
+    def select(self, available: list[int], distributor: "RequestDistributor") -> int:
+        raise NotImplementedError
+
+
+class RoundRobinSelection(SelectionPolicy):
+    """First available core at or after a rotating cursor (the default)."""
+
+    name = DistributorPolicy.ROUND_ROBIN
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, available: list[int], distributor: "RequestDistributor") -> int:
+        num_sms = distributor.num_sms
+        cursor = self._cursor
+        sm = min(available, key=lambda s: (s - cursor) % num_sms)
+        self._cursor = (sm + 1) % num_sms
+        return sm
+
+
+class RandomSelection(SelectionPolicy):
+    """Uniform choice among available cores, seeded for determinism."""
+
+    name = DistributorPolicy.RANDOM
+
+    def __init__(self, *, seed: int = 97) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, available: list[int], distributor: "RequestDistributor") -> int:
+        return self._rng.choice(available)
+
+
+class StallAwareSelection(SelectionPolicy):
+    """Prefer the most idle core, judged by the wired idleness probe."""
+
+    name = DistributorPolicy.STALL_AWARE
+    requires_idleness = True
+
+    def select(self, available: list[int], distributor: "RequestDistributor") -> int:
+        probe = distributor.idleness
+        assert probe is not None
+        return min(available, key=probe)
 
 
 class RequestDistributor:
@@ -28,27 +90,32 @@ class RequestDistributor:
         capacity_per_sm: int,
         stats: StatsRegistry,
         *,
-        policy: str = DistributorPolicy.ROUND_ROBIN,
+        policy: str | SelectionPolicy = DistributorPolicy.ROUND_ROBIN,
         idleness: Callable[[int], int] | None = None,
         seed: int = 97,
         clock: Callable[[], int] | None = None,
     ) -> None:
-        if policy not in DistributorPolicy.ALL:
-            raise ValueError(f"unknown distributor policy {policy!r}")
-        if policy == DistributorPolicy.STALL_AWARE and idleness is None:
+        if isinstance(policy, str):
+            try:
+                policy = DISTRIBUTOR_POLICIES.create(policy, seed=seed)
+            except KeyError as miss:
+                raise ValueError(str(miss)) from None
+        if policy.requires_idleness and idleness is None:
             raise ValueError("stall-aware policy needs an idleness probe")
         self.num_sms = num_sms
         self.capacity = capacity_per_sm
         self.stats = stats
-        self.policy = policy
-        self._idleness = idleness
+        #: The live policy object; ``policy`` stays the name string for
+        #: introspection and anything that compared it historically.
+        self.selection = policy
+        self.policy = policy.name
+        self.idleness = idleness
+        self._idleness = idleness  # legacy alias
         self._trace = stats.obs.trace
         #: Simulation-time probe for trace timestamps; falls back to each
         #: request's enqueue time when the backend wires no clock.
         self._clock = clock
         self._counters = [0] * num_sms
-        self._cursor = 0
-        self._rng = random.Random(seed)
         self._overflow: deque[WalkRequest] = deque()
         #: Wired by the backend: delivers a request to one SM's controller.
         self.dispatch: Callable[[int, WalkRequest], None] | None = None
@@ -63,18 +130,7 @@ class RequestDistributor:
         available = self._available()
         if not available:
             return None
-        if self.policy == DistributorPolicy.RANDOM:
-            return self._rng.choice(available)
-        if self.policy == DistributorPolicy.STALL_AWARE:
-            assert self._idleness is not None
-            return min(available, key=self._idleness)
-        # Round-robin: first available core at or after the cursor.
-        for offset in range(self.num_sms):
-            sm = (self._cursor + offset) % self.num_sms
-            if self._counters[sm] < self.capacity:
-                self._cursor = (sm + 1) % self.num_sms
-                return sm
-        return None
+        return self.selection.select(available, self)
 
     def _now(self, request: WalkRequest) -> int:
         return self._clock() if self._clock is not None else request.enqueue_time

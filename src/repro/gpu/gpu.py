@@ -1,11 +1,16 @@
-"""Full-GPU assembly: wires every substrate into one runnable simulator.
+"""Full-GPU façade: one configured machine executing one workload.
 
-``GPUSimulator(config, workload)`` builds the machine of Figure 2/10 —
+``GPUSimulator(config, workload)`` fronts the machine of Figure 2/10 —
 SMs, warps, per-SM L1 TLBs, shared L2 TLB with MSHRs (plus In-TLB MSHR
 when SoftWalker is on), Page Walk Cache, the configured walk backend
 (hardware PTWs, SoftWalker, or hybrid), the L2 data cache and DRAM —
 runs the workload to completion, and returns a
 :class:`SimulationResult` with everything the paper's figures report.
+
+Assembly itself lives in :class:`repro.arch.machine.MachineBuilder`:
+the simulator hands its config to the builder and adopts the wired
+:class:`~repro.arch.machine.Machine`, so swapping any component (via
+the ``repro.arch`` registries) needs no changes here.
 """
 
 from __future__ import annotations
@@ -13,20 +18,11 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
+from repro.arch.machine import MachineBuilder, MachineSpec
 from repro.config import GPUConfig
-from repro.core.backend import HybridBackend, SoftWalkerBackend
-from repro.gpu.faults import FaultBuffer, UVMFaultHandler
-from repro.gpu.sm import SM
-from repro.gpu.translation import TranslationService
 from repro.gpu.warp import Warp
-from repro.memory.hierarchy import MemorySystem
 from repro.obs import NULL_OBS, MetricsSampler, Observability
-from repro.ptw.hashed_backend import make_hashed_traversal
-from repro.ptw.subsystem import HardwareWalkBackend
-from repro.ptw.walker import PteMemoryPort
-from repro.sim.engine import Engine
 from repro.sim.stats import StatsRegistry
-from repro.tlb.pwc import PageWalkCache
 from repro.workloads.base import TraceWorkload
 
 
@@ -228,112 +224,29 @@ class GPUSimulator:
         *,
         obs: Observability | None = None,
     ) -> None:
-        if workload.config.page_table != config.page_table:
-            raise ValueError("workload was generated for a different page-table setup")
         self.config = config
         self.workload = workload
         self.obs = obs if obs is not None else NULL_OBS
-        self.engine = Engine()
-        if self.obs.profile_engine:
-            self.engine.enable_profiling()
-        self.stats = StatsRegistry(self.obs)
-        self.space = workload.space
-        self.memory = MemorySystem(config, self.stats)
-        self.sms = [SM(i, self.stats) for i in range(config.num_sms)]
-        self.pwc = PageWalkCache(
-            config.ptw.pwc_entries,
-            self.space.layout,
-            self.space.radix.root_base,
-            self.stats,
-            min_level=config.ptw.pwc_min_level,
+        machine = MachineBuilder(MachineSpec(config=config)).build(
+            workload, obs=self.obs, on_warp_done=self._warp_done
         )
-        self._pte_port = PteMemoryPort(self.memory, config.fixed_pt_level_latency)
-        self.backend = self._build_backend()
-        self.fault_buffer = FaultBuffer(self.stats)
-        self.fault_handler = UVMFaultHandler(
-            self.engine, self.space, self.fault_buffer, self.backend.submit
-        )
-        self.translation = TranslationService(
-            self.engine,
-            config,
-            self.space,
-            self.pwc,
-            self.backend,
-            self.stats,
-            fault_handler=self.fault_handler,
-        )
-        self._warps = self._build_warps()
+        self.machine = machine
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.space = machine.space
+        self.memory = machine.memory
+        self.sms = machine.sms
+        self.pwc = machine.pwc
+        self._pte_port = machine.pte_port
+        self.backend = machine.backend
+        self.fault_buffer = machine.fault_buffer
+        self.fault_handler = machine.fault_handler
+        self.translation = machine.translation
+        self._warps = machine.warps
         self._warps_remaining = len(self._warps)
         self._started = False
         if self.obs.metrics.enabled:
             self._register_metrics()
-
-    # ------------------------------------------------------------------
-    # Construction
-    # ------------------------------------------------------------------
-    def _build_backend(self):
-        sw_config = self.config.softwalker
-        hardware = None
-        if self.config.ptw.num_walkers > 0:
-            traversal = None
-            pwc = self.pwc
-            if self.config.ptw.page_table_kind == "hashed":
-                if self.space.hashed is None:
-                    raise ValueError("hashed page table requested but not built")
-                traversal = make_hashed_traversal(self.space.hashed, self._pte_port)
-                pwc = None
-            hardware = HardwareWalkBackend(
-                self.engine,
-                self.config.ptw,
-                self.space.radix,
-                self._pte_port,
-                pwc,
-                self.stats,
-                traversal=traversal,
-            )
-        if not sw_config.enabled:
-            if hardware is None:
-                raise ValueError("no walk backend: zero PTWs and SoftWalker disabled")
-            return hardware
-        software = SoftWalkerBackend(
-            self.engine,
-            self.config,
-            self.sms,
-            self.space.radix,
-            self._pte_port,
-            self.pwc,
-            self.stats,
-        )
-        if sw_config.hybrid:
-            if hardware is None:
-                raise ValueError("hybrid mode needs hardware walkers")
-            return HybridBackend(hardware, software)
-        return software
-
-    def _build_warps(self) -> list[Warp]:
-        warps = []
-        page_size = self.config.page_table.page_size
-        warp_id = 0
-        for sm_id, sm_traces in enumerate(self.workload.traces):
-            for trace in sm_traces:
-                warps.append(
-                    Warp(
-                        warp_id,
-                        self.sms[sm_id],
-                        self.engine,
-                        self.translation,
-                        self.memory,
-                        page_size,
-                        trace,
-                        self._warp_done,
-                    )
-                )
-                warp_id += 1
-                self.stats.counters.add(
-                    "gpu.mem_instructions",
-                    sum(1 for inst in trace if inst[0] == "m"),
-                )
-        return warps
 
     def _warp_done(self, _warp: Warp) -> None:
         self._warps_remaining -= 1
@@ -342,7 +255,9 @@ class GPUSimulator:
         """Wire every component's gauges into the sampled registry."""
         metrics = self.obs.metrics
         self.translation.register_metrics(metrics)
-        self.backend.register_metrics(metrics)
+        register = getattr(self.backend, "register_metrics", None)
+        if register is not None:  # optional for plugin backends
+            register(metrics)
         self.memory.register_metrics(metrics)
         self.pwc.register_metrics(metrics)
         metrics.register_gauge("engine.pending_events", lambda: self.engine.real_pending)

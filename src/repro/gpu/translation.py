@@ -34,7 +34,16 @@ TranslationCallback = Callable[[int, int], None]
 
 
 class WalkBackend(Protocol):
-    """What the service needs from a walk backend."""
+    """What the machine needs from a walk backend.
+
+    This is the contract every
+    :data:`repro.arch.registry.WALK_BACKENDS` factory must satisfy —
+    plugin backends included (docs/architecture.md walks through an
+    example).  Beyond submit/on_complete, the observability and
+    resilience layers use three optional members when present:
+    ``register_metrics(metrics)`` for sampled gauges,
+    ``live_requests()`` for conservation audits, and ``in_flight``.
+    """
 
     on_complete: Callable[[WalkRequest, WalkOutcome], None] | None
 

@@ -81,6 +81,23 @@ class SweepPoint:
             parts.append(f"seed{self.seed}")
         return "/".join(parts)
 
+    # ------------------------------------------------------------------
+    # Serialization (same shape as :meth:`store_key`, and losslessly
+    # invertible because config fingerprints are `GPUConfig.to_dict`)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return self.store_key()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepPoint":
+        return cls(
+            config=GPUConfig.from_dict(data["config"]),
+            benchmark=str(data["benchmark"]),
+            scale=float(data["scale"]),
+            footprint_scale=float(data.get("footprint_scale", 1.0)),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+        )
+
 
 def make_point(
     config: GPUConfig,

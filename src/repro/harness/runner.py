@@ -65,6 +65,23 @@ def default_scale() -> float:
     return scale
 
 
+def coerce_config(config: GPUConfig | Mapping) -> GPUConfig:
+    """Accept a built config or an inline config dict interchangeably.
+
+    Every Runner entry point funnels through this, so callers holding a
+    serialized spec (a sweep file, a service payload) never need to
+    deserialize by hand — and the result is fingerprint-identical to
+    the equivalent named variant.
+    """
+    if isinstance(config, GPUConfig):
+        return config
+    if isinstance(config, Mapping):
+        return GPUConfig.from_dict(config)
+    raise TypeError(
+        f"config must be a GPUConfig or a mapping, got {type(config).__name__}"
+    )
+
+
 def build_workload(
     benchmark: str | WorkloadSpec,
     config: GPUConfig,
@@ -213,7 +230,7 @@ class Runner:
     # ------------------------------------------------------------------
     def run(
         self,
-        config: GPUConfig,
+        config: GPUConfig | Mapping,
         benchmark: str | WorkloadSpec,
         *,
         scale: float | None = None,
@@ -223,9 +240,11 @@ class Runner:
     ) -> SimulationResult:
         """Build the benchmark's trace under ``config`` and simulate it.
 
-        Always executes (no cache tiers); use :meth:`run_cached` or
-        :meth:`sweep` for memoised paths.
+        ``config`` may be a built :class:`~repro.config.GPUConfig` or an
+        inline config dict.  Always executes (no cache tiers); use
+        :meth:`run_cached` or :meth:`sweep` for memoised paths.
         """
+        config = coerce_config(config)
         workload = build_workload(
             benchmark,
             config,
@@ -244,7 +263,7 @@ class Runner:
 
     def run_cached(
         self,
-        config: GPUConfig,
+        config: GPUConfig | Mapping,
         benchmark: str | WorkloadSpec,
         *,
         scale: float | None = None,
@@ -253,7 +272,7 @@ class Runner:
     ) -> SimulationResult:
         """Like :meth:`run`, but served through both cache tiers."""
         point = make_point(
-            config,
+            coerce_config(config),
             benchmark,
             scale=self._effective_scale(scale),
             footprint_scale=footprint_scale,

@@ -15,7 +15,7 @@ import heapq
 
 from repro.config import CacheConfig
 from repro.memory.dram import DRAM
-from repro.memory.replacement import LRUPolicy
+from repro.memory.replacement import make_policy
 from repro.sim.stats import StatsRegistry
 
 
@@ -45,6 +45,7 @@ class SectoredCache:
         stats: StatsRegistry,
         *,
         name: str = "l2d",
+        replacement_policy: str = "lru",
     ) -> None:
         self.config = config
         self.next_level = next_level
@@ -52,7 +53,9 @@ class SectoredCache:
         self.name = name
         self._num_sets = config.num_sets
         self._sets: list[dict[int, _Line]] = [{} for _ in range(self._num_sets)]
-        self._policies = [LRUPolicy() for _ in range(self._num_sets)]
+        self._policies = [
+            make_policy(replacement_policy) for _ in range(self._num_sets)
+        ]
         self._way_of: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
         self._free_ways: list[list[int]] = [
             list(range(config.associativity)) for _ in range(self._num_sets)

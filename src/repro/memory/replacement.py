@@ -66,9 +66,14 @@ class FIFOPolicy(ReplacementPolicy):
 
 
 def make_policy(name: str) -> ReplacementPolicy:
-    """Factory used by config-driven construction."""
-    policies = {"lru": LRUPolicy, "fifo": FIFOPolicy}
+    """Build the named policy via the component registry.
+
+    Plugin-registered policies (``repro.arch.REPLACEMENT_POLICIES``)
+    are selectable here by the same names.
+    """
+    from repro.arch.registry import REPLACEMENT_POLICIES
+
     try:
-        return policies[name]()
-    except KeyError:
-        raise ValueError(f"unknown replacement policy {name!r}") from None
+        return REPLACEMENT_POLICIES.create(name)
+    except KeyError as miss:
+        raise ValueError(str(miss)) from None

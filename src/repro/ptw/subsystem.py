@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.arch.registry import PWB_POLICIES
 from repro.config import PTWConfig
 from repro.pagetable.radix import RadixPageTable
 from repro.ptw.request import WalkRequest
@@ -31,6 +32,53 @@ from repro.tlb.pwc import PageWalkCache
 NHA_SPAN_PTES = 4
 
 CompletionCallback = Callable[[WalkRequest, WalkOutcome], None]
+
+
+class PwbPolicy:
+    """PWB dequeue order: which queued walk a freed walker picks up.
+
+    Resolved by name through :data:`repro.arch.registry.PWB_POLICIES`.
+    ``dequeue`` receives the backend and must remove and return one
+    request from ``backend._queue`` (guaranteed non-empty).
+    """
+
+    name = "?"
+
+    def dequeue(self, backend: "HardwareWalkBackend") -> WalkRequest:
+        raise NotImplementedError
+
+
+class FcfsPwbPolicy(PwbPolicy):
+    """Drain the PWB strictly in arrival order (the default)."""
+
+    name = "fcfs"
+
+    def dequeue(self, backend: "HardwareWalkBackend") -> WalkRequest:
+        return backend._queue.popleft()
+
+
+class SmBatchPwbPolicy(PwbPolicy):
+    """Warp-aware page-walk scheduling (ref [85]).
+
+    Prefers a walk from the same SM as the one just finished, shrinking
+    the gap between the first and last completed walks of one warp
+    instruction.
+    """
+
+    name = "sm_batch"
+
+    def dequeue(self, backend: "HardwareWalkBackend") -> WalkRequest:
+        queue = backend._queue
+        if backend._last_sm >= 0:
+            # Bounded scan keeps the CAM-match cost plausible.
+            limit = min(len(queue), backend.config.pwb_entries)
+            for index in range(limit):
+                if queue[index].requester_sm == backend._last_sm:
+                    request = queue[index]
+                    del queue[index]
+                    backend.stats.counters.add("ptw.sm_batched")
+                    return request
+        return queue.popleft()
 
 
 class HardwareWalkBackend:
@@ -69,6 +117,7 @@ class HardwareWalkBackend:
         self._port_used = 0
         self._last_sm = -1
         self._nha_pending: dict[int, WalkRequest] = {}
+        self._pwb_policy = PWB_POLICIES.create(config.pwb_policy)
 
     # ------------------------------------------------------------------
     # Submission
@@ -227,23 +276,8 @@ class HardwareWalkBackend:
         )
 
     def _dequeue(self) -> WalkRequest:
-        """Pick the next queued walk according to the PWB policy.
-
-        ``fcfs`` drains in arrival order.  ``sm_batch`` (the page-walk
-        scheduling baseline, ref [85]) prefers a walk from the same SM
-        as the one just finished, shrinking the gap between the first
-        and last completed walks of one warp instruction.
-        """
-        if self.config.pwb_policy == "sm_batch" and self._last_sm >= 0:
-            # Bounded scan keeps the CAM-match cost plausible.
-            limit = min(len(self._queue), self.config.pwb_entries)
-            for index in range(limit):
-                if self._queue[index].requester_sm == self._last_sm:
-                    request = self._queue[index]
-                    del self._queue[index]
-                    self.stats.counters.add("ptw.sm_batched")
-                    return request
-        return self._queue.popleft()
+        """Pick the next queued walk according to the PWB policy."""
+        return self._pwb_policy.dequeue(self)
 
     def _finish(self, request: WalkRequest, outcome: WalkOutcome) -> None:
         self._free_walkers += 1

@@ -151,8 +151,11 @@ class InvariantChecker:
             raise InvariantViolation(violations, self.component_dump())
 
     def _live_walks(self) -> list[tuple[str, list[WalkRequest]]]:
+        # ``live_requests`` is optional in the walk-backend contract;
+        # a plugin backend without it simply contributes no live walks.
+        backend_live = getattr(self.sim.backend, "live_requests", list)
         holders: list[tuple[str, list[WalkRequest]]] = [
-            ("backend", self.sim.backend.live_requests()),
+            ("backend", backend_live()),
             ("fault_handler", self.sim.fault_handler.pending_requests()),
         ]
         for holder in self._holders:

@@ -22,7 +22,9 @@ import json
 from dataclasses import dataclass
 from typing import Any, Mapping
 
-from repro.config import ConfigRegistry, DEFAULT_CONFIGS
+import hashlib
+
+from repro.config import ConfigRegistry, DEFAULT_CONFIGS, GPUConfig
 from repro.harness.pool import SweepPoint, make_point
 from repro.harness.store import canonical_key
 
@@ -89,14 +91,19 @@ def error_frame(code: int, error: str, **fields: Any) -> dict:
 class JobSpec:
     """What one submitted job should simulate.
 
-    Configurations travel by *registry name*, not by value — the server
-    resolves them against its :class:`~repro.config.ConfigRegistry`, so
-    the wire format stays small and the dedupe key is exactly the sweep
-    engine's :meth:`~repro.harness.pool.SweepPoint.store_key`.
+    Configurations travel either by *registry name* (small wire format,
+    resolved against the server's :class:`~repro.config.ConfigRegistry`)
+    or *inline* as a full config dict (deserialized into a
+    :class:`~repro.config.GPUConfig` at the protocol boundary).  Either
+    way the dedupe key is the sweep engine's
+    :meth:`~repro.harness.pool.SweepPoint.store_key` — derived from the
+    canonical config fingerprint, not the spelling — so a named variant
+    and an equivalent inline spec collapse onto one run and one store
+    entry.
     """
 
     benchmark: str
-    config: str = "baseline"
+    config: str | GPUConfig = "baseline"
     scale: float = 1.0
     footprint_scale: float = 1.0
     seed: int | None = None
@@ -111,7 +118,10 @@ class JobSpec:
             raise ProtocolError("scale and footprint_scale must be positive")
 
     def to_dict(self) -> dict:
-        out: dict[str, Any] = {"benchmark": self.benchmark, "config": self.config}
+        config = (
+            self.config if isinstance(self.config, str) else self.config.to_dict()
+        )
+        out: dict[str, Any] = {"benchmark": self.benchmark, "config": config}
         if self.scale != 1.0:
             out["scale"] = self.scale
         if self.footprint_scale != 1.0:
@@ -128,10 +138,18 @@ class JobSpec:
             benchmark = data["benchmark"]
         except KeyError:
             raise ProtocolError("job spec needs a 'benchmark'") from None
+        config = data.get("config", "baseline")
+        if isinstance(config, Mapping):
+            try:
+                config = GPUConfig.from_dict(config)
+            except ValueError as defect:
+                raise ProtocolError(f"bad inline config: {defect}") from None
+        else:
+            config = str(config)
         try:
             return cls(
                 benchmark=str(benchmark),
-                config=str(data.get("config", "baseline")),
+                config=config,
                 scale=float(data.get("scale", 1.0)),
                 footprint_scale=float(data.get("footprint_scale", 1.0)),
                 seed=None if data.get("seed") is None else int(data["seed"]),
@@ -140,11 +158,18 @@ class JobSpec:
         except (TypeError, ValueError) as defect:
             raise ProtocolError(f"malformed job spec: {defect}") from None
 
+    def resolve_config(self, registry: ConfigRegistry = DEFAULT_CONFIGS) -> GPUConfig:
+        """The concrete :class:`~repro.config.GPUConfig` to simulate
+        (raises KeyError on an unknown configuration name)."""
+        if isinstance(self.config, GPUConfig):
+            return self.config
+        return registry.get(self.config)
+
     def to_point(self, registry: ConfigRegistry = DEFAULT_CONFIGS) -> SweepPoint:
         """Resolve into a canonical sweep point (raises KeyError on an
         unknown configuration name, ValueError on an unknown benchmark)."""
         return make_point(
-            registry.get(self.config),
+            self.resolve_config(registry),
             self.benchmark,
             scale=self.scale,
             footprint_scale=self.footprint_scale,
@@ -161,8 +186,17 @@ class JobSpec:
         """
         return canonical_key(self.to_point(registry).store_key())
 
+    def config_label(self) -> str:
+        """Short display name: the registry name, or a fingerprint tag."""
+        if isinstance(self.config, str):
+            return self.config
+        digest = hashlib.sha256(
+            canonical_key(self.config.to_dict()).encode()
+        ).hexdigest()
+        return "inline-" + digest[:8]
+
     def label(self) -> str:
-        return f"{self.config}/{self.to_label_suffix()}"
+        return f"{self.config_label()}/{self.to_label_suffix()}"
 
     def to_label_suffix(self) -> str:
         parts = [self.benchmark, f"x{self.scale:g}"]

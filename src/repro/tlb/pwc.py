@@ -9,7 +9,7 @@ a cold probe simply starts at the root level.
 
 from __future__ import annotations
 
-from repro.memory.replacement import LRUPolicy
+from repro.memory.replacement import make_policy
 from repro.pagetable.address import AddressLayout
 from repro.sim.stats import StatsRegistry
 
@@ -33,6 +33,7 @@ class PageWalkCache:
         *,
         name: str = "pwc",
         min_level: int = 2,
+        replacement_policy: str = "lru",
     ) -> None:
         if entries < 0:
             raise ValueError("PWC size cannot be negative")
@@ -45,7 +46,7 @@ class PageWalkCache:
         self.name = name
         self.min_level = min_level
         self._entries: dict[tuple[int, int], int] = {}
-        self._policy = LRUPolicy()
+        self._policy = make_policy(replacement_policy)
         self._way_of: dict[tuple[int, int], int] = {}
         self._free = list(range(entries))
         self._tick = 0

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.config import TLBConfig
-from repro.memory.replacement import LRUPolicy
+from repro.memory.replacement import make_policy
 from repro.sim.stats import StatsRegistry
 
 
@@ -31,7 +31,14 @@ class TLBEntry:
 class TLB:
     """A TLB level (L1 per-SM or shared L2), optionally with pending ways."""
 
-    def __init__(self, config: TLBConfig, stats: StatsRegistry, *, name: str) -> None:
+    def __init__(
+        self,
+        config: TLBConfig,
+        stats: StatsRegistry,
+        *,
+        name: str,
+        replacement_policy: str = "lru",
+    ) -> None:
         self.config = config
         self.stats = stats
         self.name = name
@@ -44,7 +51,9 @@ class TLB:
         self._free_ways: list[list[int]] = [
             list(range(self._ways)) for _ in range(self._num_sets)
         ]
-        self._policies = [LRUPolicy() for _ in range(self._num_sets)]
+        self._policies = [
+            make_policy(replacement_policy) for _ in range(self._num_sets)
+        ]
         self._tick = 0
         self._pending_count = 0
 

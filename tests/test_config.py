@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import (
+    DEFAULT_CONFIGS,
     PAGE_SIZE_2M,
     PAGE_SIZE_64K,
     CacheConfig,
@@ -123,3 +124,36 @@ class TestNamedConfigs:
 
     def test_distributor_policies(self):
         assert set(DistributorPolicy.ALL) == {"round_robin", "random", "stall_aware"}
+
+
+class TestConfigRegistryErrors:
+    def test_unknown_variant_lists_registered_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            DEFAULT_CONFIGS.variant("no_such_config")
+        message = str(excinfo.value)
+        assert "unknown configuration 'no_such_config'" in message
+        for name in DEFAULT_CONFIGS.names():
+            assert name in message
+
+    def test_unknown_variant_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean 'baseline'"):
+            DEFAULT_CONFIGS.variant("baselin")
+
+    def test_get_raises_the_same_helpful_error(self):
+        with pytest.raises(KeyError, match="registered:"):
+            DEFAULT_CONFIGS.get("bogus")
+
+    def test_serialisation_round_trip_for_every_named_config(self):
+        for name in DEFAULT_CONFIGS.names():
+            config = DEFAULT_CONFIGS.get(name)
+            assert GPUConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = baseline_config().to_dict()
+        data["num_smz"] = 4
+        with pytest.raises((TypeError, ValueError), match="num_smz"):
+            GPUConfig.from_dict(data)
+
+    def test_walk_backend_field_is_validated(self):
+        with pytest.raises(ValueError, match="unknown walk backend"):
+            baseline_config().derive(walk_backend="sotfwalker")

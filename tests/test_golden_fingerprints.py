@@ -1,0 +1,83 @@
+"""Golden-fingerprint regression tests.
+
+Pins :meth:`SimulationResult.fingerprint` for the three headline
+configurations (baseline, softwalker, hybrid) on two small workloads
+against stored golden files.  The machine is deterministic in its
+inputs, so any drift here means a refactor changed simulated behavior —
+the registry-driven assembly (``repro.arch``) is contractually
+event-for-event identical to the hand-wired construction these goldens
+were recorded under.
+
+Regenerate (only when behavior is *intentionally* changed)::
+
+    PYTHONPATH=src python tests/test_golden_fingerprints.py --regen
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import DEFAULT_CONFIGS
+from repro.harness.runner import Runner
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small but non-trivial: dc is the paper's most walk-bound benchmark,
+#: spmv the classic irregular sparse kernel.
+SCALE = 0.05
+SEED = 7
+CASES = [
+    (config, bench)
+    for config in ("baseline", "softwalker", "hybrid")
+    for bench in ("dc", "spmv")
+]
+
+
+def golden_path(config_name: str, benchmark: str) -> Path:
+    return GOLDEN_DIR / f"{config_name}_{benchmark}.json"
+
+
+def compute_fingerprint(config_name: str, benchmark: str) -> dict:
+    result = Runner().run(
+        DEFAULT_CONFIGS.get(config_name), benchmark, scale=SCALE, seed=SEED
+    )
+    # Round-trip through JSON so tuples normalise to lists exactly as
+    # they do in the stored golden files.
+    return json.loads(json.dumps(result.fingerprint()))
+
+
+@pytest.mark.parametrize("config_name,bench", CASES)
+def test_fingerprint_matches_golden(config_name: str, bench: str) -> None:
+    path = golden_path(config_name, bench)
+    expected = json.loads(path.read_text())
+    actual = compute_fingerprint(config_name, bench)
+    assert actual == expected, (
+        f"{config_name}/{bench} fingerprint drifted from {path.name}; "
+        "if the behavior change is intentional, regenerate with "
+        "`python tests/test_golden_fingerprints.py --regen`"
+    )
+
+
+def test_every_golden_file_is_covered() -> None:
+    """No stale golden files lingering after a case rename."""
+    expected = {golden_path(c, b).name for c, b in CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for config_name, benchmark in CASES:
+        path = golden_path(config_name, benchmark)
+        fingerprint = compute_fingerprint(config_name, benchmark)
+        path.write_text(json.dumps(fingerprint, indent=1, sort_keys=True))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

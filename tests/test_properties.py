@@ -3,7 +3,13 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import baseline_config
+from repro.config import (
+    GPUConfig,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_64K,
+    baseline_config,
+    config_fingerprint,
+)
 from repro.gpu.gpu import GPUSimulator
 from repro.gpu.translation import TranslationService
 from repro.harness.runner import build_workload
@@ -247,3 +253,75 @@ class TestSerialisationRoundTrips:
         assert restored.cycles == result.cycles
         assert restored.complete == result.complete
         assert restored.stats.counters.as_dict() == result.stats.counters.as_dict()
+
+
+@st.composite
+def gpu_configs(draw):
+    """Randomized *valid* GPUConfig instances across the knob space."""
+    config = baseline_config().derive(
+        num_sms=draw(st.integers(min_value=1, max_value=64)),
+        max_warps_per_sm=draw(st.integers(min_value=1, max_value=64)),
+        issue_width=draw(st.integers(min_value=1, max_value=4)),
+        fixed_pt_level_latency=draw(st.sampled_from([None, 50, 200])),
+        hw_in_tlb_mshr=draw(st.booleans()),
+        tlb_coalescing_span=draw(st.sampled_from([1, 2, 4])),
+        tlb_speculation=draw(st.booleans()),
+        walk_backend=draw(
+            st.sampled_from([None, "hardware", "softwalker", "hybrid"])
+        ),
+    )
+    config = config.with_ptw(
+        num_walkers=draw(st.integers(min_value=0, max_value=128)),
+        pwb_entries=draw(st.integers(min_value=1, max_value=256)),
+        pwb_ports=draw(st.integers(min_value=1, max_value=4)),
+        pwc_entries=draw(st.integers(min_value=0, max_value=64)),
+        pwc_min_level=draw(st.sampled_from([1, 2])),
+        nha_coalescing=draw(st.booleans()),
+        page_table_kind=draw(st.sampled_from(["radix", "hashed"])),
+        pwb_policy=draw(st.sampled_from(["fcfs", "sm_batch"])),
+    )
+    pw_threads = draw(st.sampled_from([1, 8, 32]))
+    config = config.with_softwalker(
+        enabled=draw(st.booleans()),
+        hybrid=draw(st.booleans()),
+        pw_threads_per_sm=pw_threads,
+        softpwb_entries=draw(st.integers(min_value=pw_threads, max_value=256)),
+        in_tlb_mshr_entries=draw(st.sampled_from([0, 256, 1024])),
+        distributor_policy=draw(
+            st.sampled_from(["round_robin", "random", "stall_aware"])
+        ),
+        instruction_cycles=draw(st.integers(min_value=1, max_value=8)),
+        simt_lockstep=draw(st.booleans()),
+    )
+    l2_assoc = draw(st.sampled_from([8, 16]))
+    config = config.with_l2_tlb(
+        entries=l2_assoc * draw(st.sampled_from([16, 64])),
+        associativity=l2_assoc,
+        mshr_entries=draw(st.integers(min_value=1, max_value=256)),
+    )
+    return config.with_page_size(
+        draw(st.sampled_from([PAGE_SIZE_64K, PAGE_SIZE_2M]))
+    )
+
+
+class TestConfigSerialisation:
+    @given(gpu_configs())
+    @settings(max_examples=80, deadline=None)
+    def test_gpu_config_dict_round_trip_is_lossless(self, config):
+        restored = GPUConfig.from_dict(config.to_dict())
+        assert restored == config
+        # And stable: the second trip emits the identical dict.
+        assert restored.to_dict() == config.to_dict()
+
+    @given(gpu_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_fingerprint_survives_json_and_matches_to_dict(self, config):
+        fingerprint = config_fingerprint(config)
+        assert json.loads(json.dumps(fingerprint)) == fingerprint
+        assert fingerprint == config.to_dict()
+
+    @given(gpu_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_default_backend_field_stays_out_of_the_wire_format(self, config):
+        data = config.to_dict()
+        assert ("walk_backend" in data) == (config.walk_backend is not None)

@@ -50,8 +50,14 @@ class TestConfigRegistry:
     def test_unknown_name_lists_known(self):
         registry = ConfigRegistry()
         registry.register("base", baseline_config)
-        with pytest.raises(KeyError, match="known: base"):
+        with pytest.raises(KeyError, match="registered: base"):
             registry.get("nope")
+
+    def test_unknown_name_suggests_close_match(self):
+        registry = ConfigRegistry()
+        registry.register("baseline", baseline_config)
+        with pytest.raises(KeyError, match="did you mean 'baseline'"):
+            registry.get("baselne")
 
     def test_dict_protocol_matches_legacy_cli_usage(self):
         # The CLI historically used a plain dict of factories: iteration

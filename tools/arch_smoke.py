@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Architecture smoke check (the CI gate for the ``repro.arch`` layer).
+
+Proves the pluggable-architecture guarantees end to end, with real
+subprocesses, in well under two minutes:
+
+1. **Layer DAG** — ``tools/check_layering.py`` passes.
+2. **Plugin loading** — the toy oracle backend
+   (``examples/plugins/toy_backend.py``) registers through
+   ``REPRO_PLUGINS`` on the first registry miss, and a config naming it
+   survives the JSON wire format.
+3. **Inline-config dedupe in the sweep engine** — ``repro sweep`` given
+   a named variant *and* an equivalent ``@file.json`` inline config
+   runs **one** simulation and writes **one** store entry.
+4. **Plugins through the whole stack** — a ``repro sweep`` over an
+   inline config selecting the oracle backend completes, and beats the
+   hardware baseline (an infinitely parallel walker must).
+5. **Inline-config dedupe in the service** — a live daemon given a
+   named-variant submission and an equivalent inline-config submission
+   attaches the second to the first: one simulation, byte-identical
+   fingerprints.
+
+Usage:
+    python tools/arch_smoke.py [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+PLUGIN = os.path.join(REPO, "examples", "plugins", "toy_backend.py")
+
+sys.path.insert(0, os.path.join(REPO, "src"))
+os.environ["REPRO_PLUGINS"] = PLUGIN
+
+from repro.config import DEFAULT_CONFIGS, baseline_config  # noqa: E402
+from repro.harness.store import ResultStore  # noqa: E402
+from repro.service import JobSpec, ServiceClient  # noqa: E402
+
+CHECKS: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f" — {detail}" if detail else ""))
+    CHECKS.append(label)
+    if not ok:
+        sys.exit(1)
+
+
+def child_env() -> dict:
+    return dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(
+            filter(None, [os.path.join(REPO, "src"), os.environ.get("PYTHONPATH")])
+        ),
+        REPRO_PLUGINS=PLUGIN,
+    )
+
+
+def run_cli(*args: str, **kwargs) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=child_env(),
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    args = parser.parse_args()
+    started = time.monotonic()
+
+    # --- 1. layer DAG -------------------------------------------------
+    lint = subprocess.run(
+        [sys.executable, os.path.join(REPO, "tools", "check_layering.py")],
+        capture_output=True,
+        text=True,
+    )
+    check(
+        "layer DAG lint passes",
+        lint.returncode == 0,
+        (lint.stdout or lint.stderr).strip().splitlines()[-1],
+    )
+
+    # --- 2. plugin loading via REPRO_PLUGINS --------------------------
+    from repro.arch import WALK_BACKENDS
+
+    check(
+        "oracle plugin registers on first registry miss",
+        WALK_BACKENDS.validate("oracle") == "oracle",
+        f"walk backends: {', '.join(WALK_BACKENDS.names())}",
+    )
+    oracle_config = baseline_config().derive(walk_backend="oracle")
+    from repro.config import GPUConfig
+
+    check(
+        "plugin-naming config survives the JSON wire format",
+        GPUConfig.from_dict(json.loads(json.dumps(oracle_config.to_dict())))
+        == oracle_config,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="arch-smoke-") as root:
+        store_path = os.path.join(root, "store")
+        inline_path = os.path.join(root, "inline_softwalker.json")
+        oracle_path = os.path.join(root, "oracle.json")
+        with open(inline_path, "w") as handle:
+            json.dump(DEFAULT_CONFIGS.get("softwalker").to_dict(), handle)
+        with open(oracle_path, "w") as handle:
+            json.dump(oracle_config.to_dict(), handle)
+
+        # --- 3. sweep dedupe: named variant vs inline dict ------------
+        sweep = run_cli(
+            "sweep",
+            "--configs", f"softwalker,@{inline_path}",
+            "--benchmarks", "gups",
+            "--scale", str(args.scale),
+            "--seed", "7",
+            "--store", store_path,
+        )
+        check(
+            "sweep with named + equivalent inline config succeeds",
+            sweep.returncode == 0,
+            sweep.stderr.strip().splitlines()[-1] if sweep.returncode else "",
+        )
+        store = ResultStore(store_path)
+        check(
+            "named and inline spec share one store entry",
+            len(store) == 1,
+            f"{len(store)} entry for 2 config tokens",
+        )
+
+        # --- 4. the plugin backend through the sweep engine -----------
+        for configs in (f"@{oracle_path}", "baseline"):
+            result = run_cli(
+                "sweep",
+                "--configs", configs,
+                "--benchmarks", "gups",
+                "--scale", str(args.scale),
+                "--seed", "7",
+                "--store", store_path,
+            )
+            check(
+                f"sweep over {configs.split(os.sep)[-1]} succeeds",
+                result.returncode == 0,
+                result.stderr.strip().splitlines()[-1] if result.returncode else "",
+            )
+        oracle_result = store.load(
+            {
+                "config": oracle_config.to_dict(),
+                "benchmark": "gups",
+                "scale": args.scale,
+                "footprint_scale": 1.0,
+                "seed": 7,
+            }
+        )
+        baseline_result = store.load(
+            {
+                "config": baseline_config().to_dict(),
+                "benchmark": "gups",
+                "scale": args.scale,
+                "footprint_scale": 1.0,
+                "seed": 7,
+            }
+        )
+        check(
+            "oracle sweep results landed in the store",
+            oracle_result is not None and baseline_result is not None,
+            f"{len(store)} store entries",
+        )
+        check(
+            "oracle (infinite walkers) beats the hardware baseline",
+            oracle_result.cycles < baseline_result.cycles,
+            f"{oracle_result.cycles:,} vs {baseline_result.cycles:,} cycles",
+        )
+
+        # --- 5. service dedupe: named vs inline submission ------------
+        socket_path = os.path.join(root, "svc.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--drain-grace", "1"],
+            env=dict(child_env(), REPRO_SOCKET=socket_path, REPRO_STORE=store_path),
+        )
+        try:
+            ServiceClient(socket_path).wait_until_up(15.0)
+            named = ServiceClient(socket_path, client_name="named").submit(
+                JobSpec(benchmark="dc", config="softwalker", scale=args.scale, seed=7),
+                wait=True,
+            )
+            inline = ServiceClient(socket_path, client_name="inline").submit(
+                JobSpec(
+                    benchmark="dc",
+                    config=DEFAULT_CONFIGS.get("softwalker"),
+                    scale=args.scale,
+                    seed=7,
+                ),
+                wait=True,
+            )
+            stats = ServiceClient(socket_path).stats()
+            check(
+                "inline submission attaches to the named variant's job",
+                inline["job"] == named["job"] and stats["simulations"] == 1,
+                f"{stats['simulations']} simulation(s) for 2 submissions",
+            )
+            check(
+                "named and inline callers get byte-identical fingerprints",
+                inline["digest"] == named["digest"],
+                named["digest"][:16],
+            )
+            oracle_job = ServiceClient(socket_path, client_name="plugin").submit(
+                JobSpec(benchmark="dc", config=oracle_config, scale=args.scale, seed=7),
+                wait=True,
+            )
+            check(
+                "plugin-backend inline config runs through the service",
+                oracle_job.get("digest") is not None,
+                oracle_job["digest"][:16],
+            )
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=30)
+
+    elapsed = time.monotonic() - started
+    print(f"\narch smoke: {len(CHECKS)} checks passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
