@@ -1,0 +1,80 @@
+"""A deliberately slow walk-backend plugin: the *molasses* walker.
+
+Molasses wraps whatever backend the configuration would otherwise
+select and burns real host wall-clock time (``time.sleep``) on every
+submitted walk — **without touching simulated time**.  The simulation
+it produces is bit-identical to the unwrapped backend's (same
+fingerprint, same cycle count); only the host is slower.
+
+That makes it the perfect test fixture for the performance regression
+guard: ``repro bench --compare`` must flag a molasses run as a
+regression while the fingerprint column proves the simulation itself
+never changed.  The bench-smoke CI job does exactly that.
+
+Activate::
+
+    REPRO_PLUGINS=examples/plugins/slow_backend.py \\
+        REPRO_MOLASSES_DELAY=0.002 \\
+        python -m repro bench --configs @molasses.json --benchmarks gups
+
+with a config dict naming it, e.g. ``{"walk_backend": "molasses"}``,
+or in Python ``baseline_config().derive(walk_backend="molasses")``.
+"""
+
+import os
+import time
+
+from repro.arch.machine import MachineSpec
+from repro.arch.registry import WALK_BACKENDS
+
+#: Host seconds slept per submitted walk (simulated time unaffected).
+DELAY = float(os.environ.get("REPRO_MOLASSES_DELAY", "0.002"))
+
+
+class MolassesWalkBackend:
+    """Delegates everything to the config's natural backend, slowly."""
+
+    def __init__(self, ctx):
+        # Resolve the backend this config would select with the
+        # override removed, and build it through the registry so the
+        # wrapper composes with hardware, softwalker, and hybrid alike.
+        inner_name = MachineSpec(
+            config=ctx.config.derive(walk_backend=None)
+        ).backend_name
+        self._inner = WALK_BACKENDS.create(inner_name, ctx)
+
+    def submit(self, request):
+        time.sleep(DELAY)
+        self._inner.submit(request)
+
+    # ``on_complete`` is assigned by the TranslationService after
+    # construction; forward it to the wrapped backend, which is the one
+    # that actually finishes walks.
+    @property
+    def on_complete(self):
+        return self._inner.on_complete
+
+    @on_complete.setter
+    def on_complete(self, callback):
+        self._inner.on_complete = callback
+
+    # Optional protocol members delegate so audits and metrics see the
+    # real backend's state.
+    @property
+    def in_flight(self):
+        return getattr(self._inner, "in_flight", 0)
+
+    def live_requests(self):
+        inner = getattr(self._inner, "live_requests", None)
+        return inner() if inner is not None else []
+
+    def register_metrics(self, metrics):
+        register = getattr(self._inner, "register_metrics", None)
+        if register is not None:
+            register(metrics)
+
+
+@WALK_BACKENDS.decorator("molasses", replace_existing=True)
+def build_molasses_backend(ctx):
+    """Factory the registry calls; ``ctx`` is a BackendContext."""
+    return MolassesWalkBackend(ctx)

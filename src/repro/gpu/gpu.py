@@ -48,6 +48,15 @@ class SimulationResult:
     #: False when the run was degraded to a partial result (supervised
     #: execution gave up before every warp finished).
     complete: bool = True
+    #: Host-side performance metadata (wall seconds, events/sec, peak
+    #: RSS — see :func:`repro.obs.bench.perf_metadata`), attached by the
+    #: harness after the run.  Deliberately excluded from
+    #: :meth:`fingerprint` — two bit-identical simulations on hosts of
+    #: different speeds must still compare equal — and omitted from
+    #: :meth:`to_dict` when None, so pre-existing store entries and
+    #: golden files keep their exact shape (the ``walk_backend``
+    #: optional-field treatment).
+    perf: dict | None = None
 
     # ------------------------------------------------------------------
     # Replay / resume verification
@@ -97,7 +106,7 @@ class SimulationResult:
         workers both rely on: ``from_dict(r.to_dict()).fingerprint()``
         equals ``r.fingerprint()``.
         """
-        return {
+        data = {
             "workload": self.workload,
             "cycles": self.cycles,
             "instructions": self.instructions,
@@ -109,6 +118,9 @@ class SimulationResult:
             "complete": self.complete,
             "stats": self.stats.to_dict(),
         }
+        if self.perf is not None:
+            data["perf"] = dict(self.perf)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimulationResult":
@@ -123,6 +135,7 @@ class SimulationResult:
             memory_wait_cycles=int(data["memory_wait_cycles"]),
             seed=None if data["seed"] is None else int(data["seed"]),
             complete=bool(data["complete"]),
+            perf=data.get("perf"),
         )
 
     # ------------------------------------------------------------------

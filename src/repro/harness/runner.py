@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
@@ -45,6 +46,7 @@ from repro.harness.pool import (
 )
 from repro.harness.store import ResultStore, default_store_path
 from repro.obs import MetricsRegistry, Observability
+from repro.obs.bench import perf_metadata
 from repro.workloads.base import TraceWorkload, WorkloadSpec
 from repro.workloads.catalog import get_spec
 
@@ -256,7 +258,17 @@ class Runner:
         if obs is None:
             env_obs = _env_observability()
             obs = env_obs
-        result = GPUSimulator(config, workload, obs=obs).run()
+        sim = GPUSimulator(config, workload, obs=obs)
+        started = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - started
+        # Host-side throughput rides along (fingerprint-excluded), so
+        # the ResultStore accumulates a perf trajectory passively.
+        result.perf = perf_metadata(
+            wall_seconds=wall,
+            events=sim.engine.events_processed,
+            cycles=result.cycles,
+        )
         if env_obs is not None:
             _export_env_trace(env_obs, workload.spec.abbr)
         return result

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.gpu.gpu import GPUSimulator, SimulationResult, SimulationTruncated
+from repro.obs.bench import perf_metadata
 from repro.resilience.checkpoint import Checkpoint
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.resilience.invariants import InvariantChecker
@@ -86,6 +87,8 @@ class SupervisedReport:
     audits: int = 0
     #: Faults injected (0 when no plan was armed).
     faults_injected: int = 0
+    #: Wall-clock seconds across every attempt (backoff sleeps included).
+    wall_seconds: float = 0.0
 
     @property
     def retries(self) -> int:
@@ -128,6 +131,7 @@ def run_supervised(
     policy = policy if policy is not None else SupervisionPolicy()
     state = _RunState()
     attempt = 0
+    started = clock()
     while True:
         attempt += 1
         if state.checkpoint is not None:
@@ -141,13 +145,25 @@ def run_supervised(
         )
         try:
             result = _drive(sim, policy, state, clock, deadline, heartbeat)
-            return _report(result, sim, attempt, state, degraded=not result.complete)
+            return _report(
+                result,
+                sim,
+                attempt,
+                state,
+                degraded=not result.complete,
+                wall=max(0.0, clock() - started),
+            )
         except WatchdogTimeout as failure:
             state.failures.append(str(failure))
             if attempt > policy.max_retries:
                 if policy.degrade:
                     return _report(
-                        sim.partial_result(), sim, attempt, state, degraded=True
+                        sim.partial_result(),
+                        sim,
+                        attempt,
+                        state,
+                        degraded=True,
+                        wall=max(0.0, clock() - started),
                     )
                 raise
             if policy.backoff_base:
@@ -157,7 +173,12 @@ def run_supervised(
             state.failures.append(str(failure))
             if policy.degrade:
                 return _report(
-                    sim.partial_result(), sim, attempt, state, degraded=True
+                    sim.partial_result(),
+                    sim,
+                    attempt,
+                    state,
+                    degraded=True,
+                    wall=max(0.0, clock() - started),
                 )
             raise
 
@@ -224,6 +245,7 @@ def _report(
     state: _RunState,
     *,
     degraded: bool,
+    wall: float = 0.0,
 ) -> SupervisedReport:
     counters = sim.stats.counters
     faults = sum(
@@ -231,6 +253,12 @@ def _report(
         for name, value in counters.as_dict().items()
         if name.startswith("chaos.injected.")
     )
+    if result.perf is None:
+        result.perf = perf_metadata(
+            wall_seconds=wall,
+            events=sim.engine.events_processed,
+            cycles=result.cycles,
+        )
     return SupervisedReport(
         result=result,
         attempts=attempts,
@@ -239,4 +267,5 @@ def _report(
         failures=tuple(state.failures),
         audits=counters.get("resilience.audits"),
         faults_injected=faults,
+        wall_seconds=wall,
     )

@@ -30,11 +30,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    BenchComparison,
+    BenchError,
+    BenchHarness,
+    BenchReport,
+    CellVerdict,
+    compare_reports,
+    perf_metadata,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     MetricsRegistry,
     MetricsSampler,
     NullMetricsRegistry,
+)
+from repro.obs.profile import (
+    collapsed_stacks,
+    component_shares,
+    site_component,
+    write_collapsed,
 )
 from repro.obs.schema import TraceSchemaError, validate_chrome_trace
 from repro.obs.trace import (
@@ -96,11 +113,18 @@ class Observability:
 NULL_OBS = Observability()
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "DEFAULT_SAMPLE_INTERVAL",
     "NULL_METRICS",
     "NULL_OBS",
     "NULL_TRACE",
     "WALK_COMPONENTS",
+    "BenchCell",
+    "BenchComparison",
+    "BenchError",
+    "BenchHarness",
+    "BenchReport",
+    "CellVerdict",
     "MetricsRegistry",
     "MetricsSampler",
     "NullMetricsRegistry",
@@ -108,6 +132,12 @@ __all__ = [
     "Observability",
     "TraceRecorder",
     "TraceSchemaError",
+    "collapsed_stacks",
+    "compare_reports",
+    "component_shares",
+    "perf_metadata",
     "read_jsonl",
+    "site_component",
     "validate_chrome_trace",
+    "write_collapsed",
 ]

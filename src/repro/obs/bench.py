@@ -1,0 +1,595 @@
+"""Host-performance benchmarking: the measurement substrate for perf PRs.
+
+The simulator is deterministic, so *simulated* outcomes never drift —
+but the simulator's own speed (events/sec of host wall clock) is what
+every optimisation PR changes, and until now nothing measured it.  This
+module closes that gap:
+
+* :class:`BenchHarness` — runs a config x workload matrix with warmup
+  and N timed repeats, recording host-side throughput (events/sec,
+  simulated cycles/sec, wall seconds, peak RSS) plus run metadata
+  (python version, platform, git SHA, config fingerprints) into a
+  :class:`BenchReport`.
+* :class:`BenchReport` — the versioned, JSON-committed schema behind
+  ``BENCH_*.json`` trajectory files (``repro bench --out``).
+* :func:`compare_reports` — noise-aware diff of two reports: verdicts
+  are computed on the median of repeats with a per-cell tolerance that
+  widens with the observed repeat spread, so a loaded CI host does not
+  cry wolf while a real 2x slowdown cannot hide.
+* :func:`perf_metadata` — the fingerprint-excluded ``perf`` dict the
+  harness attaches to every :class:`~repro.gpu.gpu.SimulationResult`,
+  so the ResultStore accumulates the throughput trajectory passively.
+
+Layering note: this module lives in ``repro.obs`` (no module-level
+repro imports); the harness pulls the simulator in lazily inside
+:meth:`BenchHarness.run`, the sanctioned cycle-breaking pattern.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+#: Bump when the report layout changes; loads reject other versions so
+#: a stale committed baseline fails loudly instead of comparing garbage.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default relative tolerance for :func:`compare_reports` — a cell must
+#: slow down by more than this fraction (or the observed noise, if
+#: larger) before it counts as a regression.  Chosen so same-machine
+#: re-runs pass comfortably while a 2x slowdown is always flagged.
+DEFAULT_THRESHOLD = 0.4
+
+#: Cells whose median wall time sits under this floor (seconds) are too
+#: small to time reliably; compare treats them as within noise.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+class BenchError(ValueError):
+    """Raised on schema violations, non-determinism, or bad comparisons."""
+
+
+# ----------------------------------------------------------------------
+# Host-side measurement primitives
+# ----------------------------------------------------------------------
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 if unknown).
+
+    Monotone over the process lifetime — per-cell values in a report
+    therefore reflect "RSS high-water mark so far", which is still the
+    number a memory-regression guard wants.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-unix
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        rss //= 1024
+    return int(rss)
+
+
+def git_sha() -> str | None:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_metadata() -> dict:
+    """Host/toolchain identity stamped into every report."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": git_sha(),
+        "created_unix": int(time.time()),
+    }
+
+
+def perf_metadata(*, wall_seconds: float, events: int, cycles: int) -> dict:
+    """The ``SimulationResult.perf`` payload for one finished run.
+
+    Host-side only — deliberately excluded from result fingerprints, so
+    two bit-identical simulations on hosts of different speeds still
+    compare equal.
+    """
+    wall = max(0.0, float(wall_seconds))
+    return {
+        "wall_seconds": wall,
+        "events": int(events),
+        "events_per_sec": (events / wall) if wall > 0 else 0.0,
+        "cycles_per_sec": (cycles / wall) if wall > 0 else 0.0,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+@dataclass
+class BenchCell:
+    """One (config, benchmark) point: N timed repeats of one simulation.
+
+    ``events``/``cycles``/``fingerprint`` are single values because the
+    simulation is deterministic — the harness asserts every repeat
+    produced the identical fingerprint before recording the cell.
+    """
+
+    config: str
+    benchmark: str
+    #: Wall seconds per timed repeat (warmup runs excluded), run order.
+    wall_seconds: list[float]
+    #: Engine events processed by one repeat.
+    events: int
+    #: Final simulated cycle count of one repeat.
+    cycles: int
+    #: sha256 digest of the result fingerprint (bit-identity witness).
+    fingerprint: str
+    #: Process RSS high-water mark after this cell finished (KiB).
+    peak_rss_kb: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.wall_seconds:
+            raise BenchError(
+                f"cell {self.config}/{self.benchmark} has no timed repeats"
+            )
+
+    # -- derived statistics -------------------------------------------
+    @property
+    def median_wall(self) -> float:
+        return statistics.median(self.wall_seconds)
+
+    @property
+    def events_per_sec(self) -> float:
+        wall = self.median_wall
+        return self.events / wall if wall > 0 else 0.0
+
+    @property
+    def cycles_per_sec(self) -> float:
+        wall = self.median_wall
+        return self.cycles / wall if wall > 0 else 0.0
+
+    @property
+    def rel_spread(self) -> float:
+        """(max - min) / median of the repeats — the cell's own noise."""
+        median = self.median_wall
+        if median <= 0:
+            return 0.0
+        return (max(self.wall_seconds) - min(self.wall_seconds)) / median
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "benchmark": self.benchmark,
+            "wall_seconds": list(self.wall_seconds),
+            "events": self.events,
+            "cycles": self.cycles,
+            "fingerprint": self.fingerprint,
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BenchCell":
+        try:
+            return cls(
+                config=str(data["config"]),
+                benchmark=str(data["benchmark"]),
+                wall_seconds=[float(w) for w in data["wall_seconds"]],
+                events=int(data["events"]),
+                cycles=int(data["cycles"]),
+                fingerprint=str(data["fingerprint"]),
+                peak_rss_kb=int(data.get("peak_rss_kb", 0)),
+            )
+        except (KeyError, TypeError) as defect:
+            raise BenchError(f"malformed bench cell: {defect!r}") from None
+
+
+@dataclass
+class BenchReport:
+    """A versioned matrix of :class:`BenchCell`s plus run metadata."""
+
+    meta: dict = field(default_factory=dict)
+    cells: list[BenchCell] = field(default_factory=list)
+    schema: int = BENCH_SCHEMA_VERSION
+
+    # -- lookup -------------------------------------------------------
+    def keys(self) -> list[tuple[str, str]]:
+        return [(cell.config, cell.benchmark) for cell in self.cells]
+
+    def cell(self, config: str, benchmark: str) -> BenchCell | None:
+        for cell in self.cells:
+            if cell.config == config and cell.benchmark == benchmark:
+                return cell
+        return None
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "meta": dict(self.meta),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BenchReport":
+        if not isinstance(data, Mapping):
+            raise BenchError(
+                f"bench report must be a mapping, got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != BENCH_SCHEMA_VERSION:
+            raise BenchError(
+                f"unsupported bench schema {schema!r} "
+                f"(this build reads version {BENCH_SCHEMA_VERSION}); "
+                f"refresh the report with `repro bench --out`"
+            )
+        cells_raw = data.get("cells")
+        if not isinstance(cells_raw, list):
+            raise BenchError("bench report must contain a 'cells' list")
+        report = cls(
+            meta=dict(data.get("meta") or {}),
+            cells=[BenchCell.from_dict(cell) for cell in cells_raw],
+        )
+        seen = set()
+        for key in report.keys():
+            if key in seen:
+                raise BenchError(f"duplicate bench cell {key[0]}/{key[1]}")
+            seen.add(key)
+        return report
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        if target.parent != Path("."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as defect:
+            raise BenchError(f"unparseable bench report {path}: {defect}") from None
+        return cls.from_dict(raw)
+
+    # -- presentation -------------------------------------------------
+    def rows(self) -> list[list]:
+        """Table rows (config, benchmark, median wall, ev/s, cyc/s, spread)."""
+        return [
+            [
+                cell.config,
+                cell.benchmark,
+                f"{cell.median_wall:.3f}s",
+                f"{cell.events_per_sec:,.0f}",
+                f"{cell.cycles_per_sec:,.0f}",
+                f"{cell.rel_spread:.0%}",
+            ]
+            for cell in self.cells
+        ]
+
+    def render(self) -> str:
+        """Plain-text table (the CLI uses the richer format_table)."""
+        header = ["config", "benchmark", "median", "events/s", "cycles/s", "spread"]
+        rows = [header] + self.rows()
+        widths = [max(len(str(row[i])) for row in rows) for i in range(len(header))]
+        return "\n".join(
+            "  ".join(str(value).ljust(width) for value, width in zip(row, widths))
+            for row in rows
+        )
+
+
+# ----------------------------------------------------------------------
+# Comparison (the CI regression guard)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellVerdict:
+    """One cell's comparison outcome."""
+
+    config: str
+    benchmark: str
+    #: "regression" | "improvement" | "ok" | "missing" | "new"
+    verdict: str
+    #: new median wall / old median wall (None for missing/new cells).
+    ratio: float | None = None
+    #: Relative tolerance this cell was judged against.
+    tolerance: float | None = None
+    old_wall: float | None = None
+    new_wall: float | None = None
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict in ("regression", "missing")
+
+
+@dataclass
+class BenchComparison:
+    """Every cell verdict of one old-vs-new report diff."""
+
+    verdicts: list[CellVerdict]
+    threshold: float
+
+    @property
+    def regressions(self) -> list[CellVerdict]:
+        return [v for v in self.verdicts if v.verdict == "regression"]
+
+    @property
+    def improvements(self) -> list[CellVerdict]:
+        return [v for v in self.verdicts if v.verdict == "improvement"]
+
+    @property
+    def missing(self) -> list[CellVerdict]:
+        return [v for v in self.verdicts if v.verdict == "missing"]
+
+    @property
+    def passed(self) -> bool:
+        """True when no cell regressed and none went missing."""
+        return not any(v.failed for v in self.verdicts)
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for verdict in self.verdicts:
+            counts[verdict.verdict] = counts.get(verdict.verdict, 0) + 1
+        parts = ", ".join(f"{n} {kind}" for kind, n in sorted(counts.items()))
+        state = "PASS" if self.passed else "FAIL"
+        return f"bench compare {state}: {parts or 'no cells'}"
+
+    def rows(self) -> list[list]:
+        rows = []
+        for v in self.verdicts:
+            rows.append(
+                [
+                    v.config,
+                    v.benchmark,
+                    v.verdict.upper() if v.failed else v.verdict,
+                    f"{v.old_wall:.3f}s" if v.old_wall is not None else "-",
+                    f"{v.new_wall:.3f}s" if v.new_wall is not None else "-",
+                    f"{v.ratio:.2f}x" if v.ratio is not None else "-",
+                    f"{v.tolerance:.0%}" if v.tolerance is not None else "-",
+                    v.note,
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        header = ["config", "benchmark", "verdict", "old", "new", "ratio", "tol", "note"]
+        rows = [header] + self.rows()
+        widths = [max(len(str(row[i])) for row in rows) for i in range(len(header))]
+        body = "\n".join(
+            "  ".join(str(value).ljust(width) for value, width in zip(row, widths))
+            for row in rows
+        )
+        return body + "\n" + self.summary()
+
+
+def compare_reports(
+    old: BenchReport,
+    new: BenchReport,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    noise_factor: float = 3.0,
+) -> BenchComparison:
+    """Diff two reports cell-by-cell with noise-aware thresholds.
+
+    Per cell, the verdict compares medians of repeats.  The effective
+    tolerance is ``max(threshold, noise_factor * rel_spread)`` over both
+    cells' observed repeat spreads — a cell that timed noisily must move
+    further before it is believed.  Cells present in ``old`` but absent
+    from ``new`` are ``missing`` (a shrunk matrix fails the guard);
+    cells only in ``new`` are ``new`` (growing the matrix is fine).
+
+    Raises :class:`BenchError` when the reports were taken at different
+    scales or seeds — those wall clocks are not comparable.
+    """
+    for knob in ("scale", "seed", "footprint_scale"):
+        old_value, new_value = old.meta.get(knob), new.meta.get(knob)
+        if old_value is not None and new_value is not None and old_value != new_value:
+            raise BenchError(
+                f"reports are not comparable: {knob} differs "
+                f"({old_value!r} vs {new_value!r})"
+            )
+    verdicts: list[CellVerdict] = []
+    new_keys = set(new.keys())
+    for old_cell in old.cells:
+        key = (old_cell.config, old_cell.benchmark)
+        new_cell = new.cell(*key)
+        if new_cell is None:
+            verdicts.append(
+                CellVerdict(*key, "missing", note="cell absent from new report")
+            )
+            continue
+        new_keys.discard(key)
+        old_wall, new_wall = old_cell.median_wall, new_cell.median_wall
+        tolerance = max(
+            threshold,
+            noise_factor * old_cell.rel_spread,
+            noise_factor * new_cell.rel_spread,
+        )
+        ratio = new_wall / old_wall if old_wall > 0 else float("inf")
+        note = ""
+        if old_cell.fingerprint != new_cell.fingerprint:
+            note = "fingerprint drifted (different simulation!)"
+        if old_wall < min_seconds and new_wall < min_seconds:
+            verdict = "ok"
+            note = note or "below timing floor"
+        elif ratio > 1.0 + tolerance:
+            verdict = "regression"
+        elif ratio < 1.0 / (1.0 + tolerance):
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+        verdicts.append(
+            CellVerdict(
+                key[0],
+                key[1],
+                verdict,
+                ratio=ratio,
+                tolerance=tolerance,
+                old_wall=old_wall,
+                new_wall=new_wall,
+                note=note,
+            )
+        )
+    for key in sorted(new_keys):
+        cell = new.cell(*key)
+        verdicts.append(
+            CellVerdict(
+                key[0],
+                key[1],
+                "new",
+                new_wall=cell.median_wall if cell else None,
+                note="cell absent from old report",
+            )
+        )
+    return BenchComparison(verdicts=verdicts, threshold=threshold)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+#: Progress callback: (config_label, benchmark, done_cells, total_cells).
+BenchProgressFn = Callable[[str, str, int, int], None]
+
+
+class BenchHarness:
+    """Runs a config x workload matrix with warmup + N timed repeats.
+
+    ``configs`` maps display labels to built ``GPUConfig`` objects (or
+    inline config mappings); labels become the report's cell keys, so a
+    later run with the same labels is comparable even if the underlying
+    knobs moved.  The harness times only the event loop (workload and
+    machine construction are excluded), rebuilds the simulator fresh per
+    repeat, and asserts every repeat's result fingerprint is identical —
+    a benchmark that perturbs the simulation is a bug, not a datapoint.
+    """
+
+    def __init__(
+        self,
+        configs: Mapping[str, Any],
+        benchmarks: Sequence[str],
+        *,
+        scale: float = 0.05,
+        repeats: int = 3,
+        warmup: int = 1,
+        seed: int | None = 7,
+        footprint_scale: float = 1.0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if not configs:
+            raise BenchError("bench needs at least one configuration")
+        if not benchmarks:
+            raise BenchError("bench needs at least one benchmark")
+        if repeats < 1:
+            raise BenchError(f"repeats must be >= 1, got {repeats}")
+        if warmup < 0:
+            raise BenchError(f"warmup must be >= 0, got {warmup}")
+        if scale <= 0:
+            raise BenchError(f"scale must be positive, got {scale}")
+        self.configs = dict(configs)
+        self.benchmarks = list(benchmarks)
+        self.scale = scale
+        self.repeats = repeats
+        self.warmup = warmup
+        self.seed = seed
+        self.footprint_scale = footprint_scale
+        self.clock = clock
+
+    def run(self, progress: BenchProgressFn | None = None) -> BenchReport:
+        """Execute the full matrix; returns the finished report."""
+        cells: list[BenchCell] = []
+        total = len(self.configs) * len(self.benchmarks)
+        done = 0
+        for label, config in self.configs.items():
+            for benchmark in self.benchmarks:
+                cells.append(self._run_cell(label, config, benchmark))
+                done += 1
+                if progress is not None:
+                    progress(label, benchmark, done, total)
+        meta = run_metadata()
+        meta.update(
+            {
+                "scale": self.scale,
+                "repeats": self.repeats,
+                "warmup": self.warmup,
+                "seed": self.seed,
+                "footprint_scale": self.footprint_scale,
+            }
+        )
+        return BenchReport(meta=meta, cells=cells)
+
+    # -- internals ----------------------------------------------------
+    def _run_cell(self, label: str, config: Any, benchmark: str) -> BenchCell:
+        walls: list[float] = []
+        events = cycles = 0
+        fingerprints: set[str] = set()
+        for index in range(self.warmup + self.repeats):
+            wall, events, cycles, digest = self._run_once(config, benchmark)
+            fingerprints.add(digest)
+            if index >= self.warmup:
+                walls.append(wall)
+        if len(fingerprints) != 1:
+            raise BenchError(
+                f"bench cell {label}/{benchmark} is non-deterministic: "
+                f"{len(fingerprints)} distinct fingerprints across "
+                f"{self.warmup + self.repeats} runs"
+            )
+        return BenchCell(
+            config=label,
+            benchmark=benchmark,
+            wall_seconds=walls,
+            events=events,
+            cycles=cycles,
+            fingerprint=fingerprints.pop(),
+            peak_rss_kb=peak_rss_kb(),
+        )
+
+    def _run_once(self, config: Any, benchmark: str) -> tuple[float, int, int, str]:
+        # Local imports: obs sits below the machine model in the layer
+        # DAG, so the harness reaches up lazily (see check_layering.py).
+        from repro.config import DEFAULT_CONFIGS
+        from repro.gpu.gpu import GPUSimulator
+        from repro.harness.runner import build_workload, coerce_config
+        from repro.harness.store import fingerprint_digest
+
+        if isinstance(config, str):
+            config = DEFAULT_CONFIGS.get(config)
+        built = coerce_config(config)
+        workload = build_workload(
+            benchmark,
+            built,
+            scale=self.scale,
+            footprint_scale=self.footprint_scale,
+            seed=self.seed,
+        )
+        sim = GPUSimulator(built, workload)
+        started = self.clock()
+        result = sim.run()
+        wall = self.clock() - started
+        return (
+            wall,
+            sim.engine.events_processed,
+            result.cycles,
+            fingerprint_digest(result),
+        )

@@ -138,17 +138,23 @@ class Engine:
                 self._daemons_pending -= 1
             self.now = when
             if profile is not None:
+                # Resolve the site key before the timer starts (name
+                # lookup must not bill the callback) and touch the dict
+                # once on the hot path, so profiled runs distort the
+                # numbers as little as possible.
+                key = getattr(callback, "__qualname__", None)
+                if key is None:
+                    key = repr(callback)
                 started = time.perf_counter()
                 callback(*args)
-                cell = profile.get(getattr(callback, "__qualname__", repr(callback)))
-                if cell is None:
-                    profile[getattr(callback, "__qualname__", repr(callback))] = [
-                        1,
-                        time.perf_counter() - started,
-                    ]
+                elapsed = time.perf_counter() - started
+                try:
+                    cell = profile[key]
+                except KeyError:
+                    profile[key] = [1, elapsed]
                 else:
                     cell[0] += 1
-                    cell[1] += time.perf_counter() - started
+                    cell[1] += elapsed
             else:
                 callback(*args)
             processed += 1
@@ -225,6 +231,19 @@ class Engine:
         ]
         rows.sort(key=lambda row: row[2], reverse=True)
         return rows[:top] if top is not None else rows
+
+    def profile_to_dict(self) -> dict:
+        """JSON-safe profile export: ``{site: {"calls", "seconds"}}``.
+
+        The wire form ``repro profile`` and the bench tooling persist;
+        empty when profiling was never enabled.
+        """
+        if self._profile is None:
+            return {}
+        return {
+            name: {"calls": cell[0], "seconds": cell[1]}
+            for name, cell in self._profile.items()
+        }
 
     # ------------------------------------------------------------------
     # Introspection

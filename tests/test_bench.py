@@ -1,0 +1,364 @@
+"""Unit tests for the benchmarking layer (repro.obs.bench / .profile).
+
+Fast by construction: verdict logic, schema round-trips, and profile
+analysis are pure arithmetic over hand-built cells; only a couple of
+tests run a real (tiny) simulation.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    BenchError,
+    BenchHarness,
+    BenchReport,
+    compare_reports,
+    perf_metadata,
+)
+from repro.obs.profile import (
+    collapsed_stacks,
+    component_shares,
+    site_component,
+    write_collapsed,
+)
+
+
+def cell(config="baseline", benchmark="gups", walls=(1.0, 1.0, 1.0),
+         fingerprint="abc", events=1000, cycles=5000, **overrides):
+    params = dict(
+        config=config,
+        benchmark=benchmark,
+        wall_seconds=list(walls),
+        events=events,
+        cycles=cycles,
+        fingerprint=fingerprint,
+    )
+    params.update(overrides)
+    return BenchCell(**params)
+
+
+def report(*cells, **meta):
+    return BenchReport(meta=meta, cells=list(cells))
+
+
+class TestBenchCell:
+    def test_derived_statistics(self):
+        c = cell(walls=(2.0, 1.0, 3.0), events=2000, cycles=10_000)
+        assert c.median_wall == 2.0
+        assert c.events_per_sec == pytest.approx(1000.0)
+        assert c.cycles_per_sec == pytest.approx(5000.0)
+        assert c.rel_spread == pytest.approx(1.0)
+
+    def test_rejects_empty_repeats(self):
+        with pytest.raises(BenchError):
+            cell(walls=())
+
+    def test_round_trips(self):
+        c = cell(walls=(0.5, 0.6), peak_rss_kb=1234)
+        assert BenchCell.from_dict(c.to_dict()) == c
+
+    def test_malformed_cell_raises_bench_error(self):
+        with pytest.raises(BenchError):
+            BenchCell.from_dict({"config": "x"})
+
+
+class TestBenchReport:
+    def test_round_trips_through_json(self):
+        r = report(cell(), cell(benchmark="dc"), scale=0.05, seed=7)
+        restored = BenchReport.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert restored.meta == r.meta
+        assert restored.cells == r.cells
+        assert restored.schema == BENCH_SCHEMA_VERSION
+
+    def test_rejects_other_schema_versions(self):
+        data = report(cell()).to_dict()
+        data["schema"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(BenchError, match="unsupported bench schema"):
+            BenchReport.from_dict(data)
+
+    def test_rejects_duplicate_cells(self):
+        data = report(cell(), cell()).to_dict()
+        with pytest.raises(BenchError, match="duplicate"):
+            BenchReport.from_dict(data)
+
+    def test_save_load(self, tmp_path):
+        r = report(cell(), scale=0.05)
+        path = r.save(tmp_path / "bench.json")
+        loaded = BenchReport.load(path)
+        assert loaded.cells == r.cells
+        assert loaded.meta["scale"] == 0.05
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="unparseable"):
+            BenchReport.load(path)
+
+    def test_cell_lookup(self):
+        r = report(cell(), cell(benchmark="dc"))
+        assert r.cell("baseline", "dc").benchmark == "dc"
+        assert r.cell("nope", "dc") is None
+
+
+class TestCompareVerdicts:
+    def test_regression_flagged_and_fails(self):
+        old = report(cell(walls=(1.0, 1.0, 1.0)))
+        new = report(cell(walls=(2.5, 2.5, 2.5)))
+        comparison = compare_reports(old, new)
+        assert [v.verdict for v in comparison.verdicts] == ["regression"]
+        assert not comparison.passed
+        assert comparison.verdicts[0].ratio == pytest.approx(2.5)
+
+    def test_improvement_flagged_but_passes(self):
+        old = report(cell(walls=(2.0, 2.0, 2.0)))
+        new = report(cell(walls=(1.0, 1.0, 1.0)))
+        comparison = compare_reports(old, new)
+        assert [v.verdict for v in comparison.verdicts] == ["improvement"]
+        assert comparison.passed
+
+    def test_within_noise_is_ok(self):
+        old = report(cell(walls=(1.0, 1.0, 1.0)))
+        new = report(cell(walls=(1.2, 1.2, 1.2)))
+        comparison = compare_reports(old, new)
+        assert [v.verdict for v in comparison.verdicts] == ["ok"]
+        assert comparison.passed
+
+    def test_noisy_cells_widen_tolerance(self):
+        # 60% spread -> tolerance 3 * 0.6 = 180%, so a 2x move is ok.
+        old = report(cell(walls=(0.8, 1.0, 1.4)))
+        new = report(cell(walls=(2.0, 2.0, 2.0)))
+        comparison = compare_reports(old, new)
+        assert [v.verdict for v in comparison.verdicts] == ["ok"]
+        assert comparison.verdicts[0].tolerance == pytest.approx(1.8)
+
+    def test_missing_cell_fails(self):
+        old = report(cell(), cell(benchmark="dc"))
+        new = report(cell())
+        comparison = compare_reports(old, new)
+        assert not comparison.passed
+        assert [v.verdict for v in comparison.missing] == ["missing"]
+        assert comparison.missing[0].benchmark == "dc"
+
+    def test_new_cell_is_ok(self):
+        old = report(cell())
+        new = report(cell(), cell(benchmark="dc"))
+        comparison = compare_reports(old, new)
+        assert comparison.passed
+        assert [v.verdict for v in comparison.verdicts] == ["ok", "new"]
+
+    def test_below_timing_floor_never_regresses(self):
+        old = report(cell(walls=(0.001, 0.001, 0.001)))
+        new = report(cell(walls=(0.004, 0.004, 0.004)))
+        comparison = compare_reports(old, new)
+        assert comparison.passed
+        assert comparison.verdicts[0].note == "below timing floor"
+
+    def test_fingerprint_drift_noted(self):
+        old = report(cell(fingerprint="aaa"))
+        new = report(cell(fingerprint="bbb"))
+        comparison = compare_reports(old, new)
+        assert "fingerprint drifted" in comparison.verdicts[0].note
+
+    def test_incomparable_scales_raise(self):
+        old = report(cell(), scale=0.05)
+        new = report(cell(), scale=0.5)
+        with pytest.raises(BenchError, match="not comparable"):
+            compare_reports(old, new)
+
+    def test_summary_and_render(self):
+        comparison = compare_reports(report(cell()), report(cell()))
+        assert "PASS" in comparison.summary()
+        assert "baseline" in comparison.render()
+
+
+class TestPerfMetadataHelper:
+    def test_throughput_arithmetic(self):
+        perf = perf_metadata(wall_seconds=2.0, events=1000, cycles=4000)
+        assert perf["events_per_sec"] == pytest.approx(500.0)
+        assert perf["cycles_per_sec"] == pytest.approx(2000.0)
+        assert perf["peak_rss_kb"] >= 0
+
+    def test_zero_wall_guard(self):
+        perf = perf_metadata(wall_seconds=0.0, events=10, cycles=10)
+        assert perf["events_per_sec"] == 0.0
+        # A fake clock running backwards must not produce negative time.
+        assert perf_metadata(wall_seconds=-1, events=1, cycles=1)[
+            "wall_seconds"
+        ] == 0.0
+
+
+class TestBenchHarness:
+    def test_validates_arguments(self):
+        with pytest.raises(BenchError):
+            BenchHarness({}, ["gups"])
+        with pytest.raises(BenchError):
+            BenchHarness({"a": "baseline"}, [])
+        with pytest.raises(BenchError):
+            BenchHarness({"a": "baseline"}, ["gups"], repeats=0)
+        with pytest.raises(BenchError):
+            BenchHarness({"a": "baseline"}, ["gups"], scale=0)
+
+    def test_tiny_matrix_runs_and_compares_clean(self):
+        harness = BenchHarness(
+            {"baseline": "baseline"}, ["gups"], scale=0.02, repeats=2, warmup=0
+        )
+        seen = []
+        first = harness.run(progress=lambda *args: seen.append(args))
+        assert seen == [("baseline", "gups", 1, 1)]
+        assert first.meta["scale"] == 0.02
+        c = first.cell("baseline", "gups")
+        assert c is not None and len(c.wall_seconds) == 2
+        assert c.events > 0 and c.cycles > 0 and len(c.fingerprint) == 64
+        second = harness.run()
+        # Deterministic simulation: byte-identical fingerprints across runs.
+        assert second.cell("baseline", "gups").fingerprint == c.fingerprint
+        assert compare_reports(first, second).passed
+
+
+class TestProfileAnalysis:
+    ROWS = [
+        ("L2TLB.lookup", 100, 0.6),
+        ("L2TLB._fill", 50, 0.1),
+        ("Warp._advance", 200, 0.3),
+    ]
+
+    def test_site_component(self):
+        assert site_component("L2TLB.lookup") == "L2TLB"
+        assert site_component("SoftWalker.Core._step") == "SoftWalker"
+        assert site_component("bare_function") == "bare_function"
+
+    def test_component_shares_descend_and_sum_to_one(self):
+        shares = component_shares(self.ROWS)
+        assert list(shares) == ["L2TLB", "Warp"]
+        assert shares["L2TLB"] == pytest.approx(0.7)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_component_shares_empty_profile(self):
+        assert component_shares([]) == {}
+        assert component_shares([("X.y", 1, 0.0)]) == {"X": 0.0}
+
+    def test_collapsed_stack_format(self):
+        lines = collapsed_stacks(self.ROWS)
+        assert "repro;L2TLB;L2TLB.lookup 600000" in lines
+        assert "repro;Warp;Warp._advance 300000" in lines
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            assert weight.isdigit()
+            assert frames.count(";") == 2
+
+    def test_collapsed_drops_zero_weight_sites(self):
+        assert collapsed_stacks([("X.y", 5, 0.0000001)]) == []
+
+    def test_write_collapsed(self, tmp_path):
+        path = write_collapsed(tmp_path / "out.collapsed", self.ROWS)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+
+
+class TestEngineProfiling:
+    def run_profiled(self):
+        from repro.config import baseline_config
+        from repro.gpu.gpu import GPUSimulator
+        from repro.harness.runner import build_workload
+        from repro.obs import Observability
+
+        config = baseline_config()
+        obs = Observability(profile_engine=True)
+        workload = build_workload("gups", config, scale=0.02, seed=7)
+        sim = GPUSimulator(config, workload, obs=obs)
+        return sim, sim.run()
+
+    def test_profiled_run_matches_unprofiled(self):
+        from repro.config import baseline_config
+        from repro.gpu.gpu import GPUSimulator
+        from repro.harness.runner import build_workload
+
+        config = baseline_config()
+        plain = GPUSimulator(
+            config, build_workload("gups", config, scale=0.02, seed=7)
+        ).run()
+        sim, profiled = self.run_profiled()
+        assert profiled.fingerprint() == plain.fingerprint()
+
+    def test_profile_report_and_export(self):
+        sim, _result = self.run_profiled()
+        rows = sim.engine.profile_report()
+        assert rows, "profiling on but no sites recorded"
+        assert rows == sorted(rows, key=lambda r: r[2], reverse=True)
+        assert any("Warp" in site for site, _calls, _secs in rows)
+        exported = sim.engine.profile_to_dict()
+        for site, calls, seconds in rows:
+            assert exported[site] == {"calls": calls, "seconds": seconds}
+        assert sim.engine.profile_report(top=1) == rows[:1]
+
+    def test_profile_export_empty_when_off(self):
+        from repro.sim.engine import Engine
+
+        assert Engine().profile_to_dict() == {}
+
+
+class TestBenchCli:
+    def test_bench_out_and_against(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        args = [
+            "bench",
+            "--configs", "baseline",
+            "--benchmarks", "gups",
+            "--scale", "0.02",
+            "--repeats", "2",
+            "--warmup", "0",
+        ]
+        assert main(args + ["--out", str(out_a)]) == 0
+        assert main(args + ["--out", str(out_b)]) == 0
+        assert (
+            main(["bench", "--compare", str(out_a), "--against", str(out_b)])
+            == 0
+        )
+        assert "PASS" in capsys.readouterr().out
+
+    def test_compare_flags_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        fast = report(cell(walls=(0.1, 0.1)), scale=0.02)
+        slow = report(cell(walls=(0.5, 0.5)), scale=0.02)
+        old = fast.save(tmp_path / "old.json")
+        new = slow.save(tmp_path / "new.json")
+        assert main(["bench", "--compare", str(old), "--against", str(new)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # The other direction is an improvement and passes.
+        assert main(["bench", "--compare", str(new), "--against", str(old)]) == 0
+
+    def test_against_requires_compare(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--against", "x.json"]) == 2
+        assert "--against requires" in capsys.readouterr().err
+
+    def test_unknown_inputs_exit_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--benchmarks", "nope"]) == 2
+        assert main(["bench", "--configs", "nope", "--benchmarks", "gups"]) == 2
+        assert (
+            main(["bench", "--compare", "/nonexistent.json", "--against",
+                  "/nonexistent.json"]) == 2
+        )
+
+    def test_profile_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        collapsed = tmp_path / "gups.collapsed"
+        code = main(
+            ["profile", "gups", "--scale", "0.02", "--collapsed", str(collapsed)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "callback site" in out
+        assert "component shares" in out
+        assert collapsed.read_text().strip()

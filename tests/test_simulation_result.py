@@ -154,6 +154,51 @@ class TestFingerprint:
         assert first.fingerprint() != second.fingerprint()
 
 
+class TestPerfMetadata:
+    """The optional fingerprint-excluded ``perf`` field (PR-5's
+    ``walk_backend`` treatment: absent when None, so pre-existing store
+    entries and golden files keep their exact shape)."""
+
+    PERF = {
+        "wall_seconds": 1.5,
+        "events": 3000,
+        "events_per_sec": 2000.0,
+        "cycles_per_sec": 666.7,
+        "peak_rss_kb": 51200,
+    }
+
+    def test_to_dict_omits_perf_when_none(self):
+        assert "perf" not in make_result().to_dict()
+
+    def test_round_trips_through_dict(self):
+        result = make_result(perf=dict(self.PERF))
+        data = result.to_dict()
+        assert data["perf"] == self.PERF
+        restored = SimulationResult.from_dict(data)
+        assert restored.perf == self.PERF
+        assert restored.fingerprint() == result.fingerprint()
+
+    def test_from_dict_tolerates_missing_perf(self):
+        data = make_result().to_dict()
+        assert SimulationResult.from_dict(data).perf is None
+
+    def test_fingerprint_excludes_perf(self):
+        bare = make_result()
+        timed = make_result(perf=dict(self.PERF))
+        assert bare.fingerprint() == timed.fingerprint()
+        assert "perf" not in timed.fingerprint()
+
+    def test_harness_attaches_perf(self):
+        from repro.config import baseline_config
+        from repro.harness.runner import Runner
+
+        result = Runner().run(baseline_config(), "gups", scale=0.02, seed=7)
+        assert result.perf is not None
+        assert result.perf["wall_seconds"] > 0
+        assert result.perf["events"] > 0
+        assert result.perf["events_per_sec"] > 0
+
+
 class TestRunDecomposition:
     def make_sim(self):
         from repro.config import baseline_config
