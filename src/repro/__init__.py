@@ -39,6 +39,7 @@ from repro.harness.store import ResultStore
 from repro.harness.supervised import (
     SupervisedReport,
     SupervisionPolicy,
+    AttemptAbandoned,
     WatchdogTimeout,
     run_supervised,
 )
@@ -103,6 +104,7 @@ __all__ = [
     "speedups",
     "SupervisedReport",
     "SupervisionPolicy",
+    "AttemptAbandoned",
     "WatchdogTimeout",
     "run_supervised",
     "Checkpoint",

@@ -16,7 +16,10 @@ Commands:
   write/compare ``BENCH_*.json`` reports (the perf regression guard).
 * ``profile`` — engine self-profile of one run: ranked callback sites,
   component wall-clock shares, optional collapsed-stack flamegraph.
-* ``serve`` — run the simulation-as-a-service daemon on a unix socket.
+* ``serve`` — run the simulation-as-a-service daemon on a unix socket
+  (and, with ``--tcp``, a fleet transport for remote workers/clients).
+* ``worker`` — run fleet worker host(s) pulling leased jobs from a
+  scheduler (``--count N`` or ``REPRO_WORKERS`` for a local pool).
 * ``submit`` — submit one job to a running daemon (optionally waiting).
 * ``jobs`` — list a running daemon's jobs, or its stats with ``--stats``.
 """
@@ -322,6 +325,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persistent result store directory (default: REPRO_STORE)",
     )
+    serve_parser.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="also listen on TCP for fleet workers and remote clients",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="seconds a dispatch lease lives without a heartbeat",
+    )
+    serve_parser.add_argument(
+        "--attempt-budget",
+        type=int,
+        default=None,
+        help="crashed dispatches before a job is dead-lettered",
+    )
+    serve_parser.add_argument(
+        "--store-budget",
+        type=int,
+        default=None,
+        help="result-store size budget in bytes (oldest entries evicted)",
+    )
+    serve_parser.add_argument(
+        "--client-rate",
+        type=float,
+        default=None,
+        help="per-client submissions/second admission rate limit",
+    )
+
+    worker_parser = sub.add_parser(
+        "worker", help="run fleet worker host(s) pulling jobs from a scheduler"
+    )
+    worker_parser.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help=(
+            "scheduler address: unix socket path or host:port "
+            "(default: REPRO_SOCKET)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--id", dest="worker_id", help="worker id (default: generated, embeds pid)"
+    )
+    worker_parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="worker host processes to run (default: REPRO_WORKERS or 1)",
+    )
+    worker_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="seconds between idle polls (default: the scheduler's knob)",
+    )
+    worker_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit after processing this many dispatches",
+    )
 
     submit_parser = sub.add_parser(
         "submit", help="submit one job to a running service daemon"
@@ -352,6 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream",
         action="store_true",
         help="with --wait: also print each progress heartbeat",
+    )
+    submit_parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "retry transient refusals (429/503, connection errors) up to "
+            "N extra times with jittered exponential backoff"
+        ),
     )
 
     jobs_parser = sub.add_parser(
@@ -912,6 +986,11 @@ def cmd_serve(
     job_timeout: float | None,
     drain_grace: float | None,
     store: str | None,
+    tcp: str | None = None,
+    lease_ttl: float | None = None,
+    attempt_budget: int | None = None,
+    store_budget: int | None = None,
+    client_rate: float | None = None,
 ) -> int:
     import asyncio
     import logging
@@ -935,11 +1014,99 @@ def cmd_serve(
         overrides["job_timeout"] = job_timeout
     if drain_grace is not None:
         overrides["drain_grace"] = drain_grace
+    if tcp is not None:
+        overrides["tcp"] = tcp
+    if lease_ttl is not None:
+        overrides["lease_ttl"] = lease_ttl
+    if attempt_budget is not None:
+        overrides["attempt_budget"] = attempt_budget
+    if store_budget is not None:
+        overrides["store_budget"] = store_budget
+    if client_rate is not None:
+        overrides["client_rate"] = client_rate
     config = ServiceConfig.from_env(**overrides)
     try:
         return asyncio.run(run_server(config, store=store))
     except KeyboardInterrupt:  # pragma: no cover - interactive ^C
         return 0
+
+
+def _worker_entry(
+    address: str, poll_interval: float | None, max_jobs: int | None
+) -> None:
+    """Entry point of one forked worker host (``repro worker --count N``)."""
+    import logging
+
+    from repro.service.worker import run_worker
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(levelname)s %(name)s: %(message)s"
+    )
+    raise SystemExit(
+        run_worker(address, poll_interval=poll_interval, max_jobs=max_jobs)
+    )
+
+
+def cmd_worker(
+    connect: str | None,
+    worker_id: str | None,
+    count: int | None,
+    poll_interval: float | None,
+    max_jobs: int | None,
+) -> int:
+    import logging
+
+    from repro.config import default_socket_path, default_worker_count
+    from repro.service.worker import run_worker
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(levelname)s %(name)s: %(message)s"
+    )
+    address = connect or default_socket_path()
+    try:
+        hosts = count if count is not None else default_worker_count()
+    except ValueError as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 2
+    if hosts < 1:
+        print(f"error: --count must be >= 1, got {hosts}", file=sys.stderr)
+        return 2
+    if hosts == 1:
+        return run_worker(
+            address,
+            worker_id=worker_id,
+            poll_interval=poll_interval,
+            max_jobs=max_jobs,
+        )
+    if worker_id is not None:
+        print("error: --id only makes sense with --count 1", file=sys.stderr)
+        return 2
+    import signal as signal_module
+
+    from repro.harness.pool import pool_context
+
+    ctx = pool_context()
+    procs = [
+        ctx.Process(
+            target=_worker_entry, args=(address, poll_interval, max_jobs)
+        )
+        for _ in range(hosts)
+    ]
+    for proc in procs:
+        proc.start()
+
+    def forward(_sig, _frame) -> None:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM: each host finishes its job first
+
+    for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+        signal_module.signal(sig, forward)
+    code = 0
+    for proc in procs:
+        proc.join()
+        code = max(code, proc.exitcode or 0)
+    return code
 
 
 def cmd_submit(
@@ -952,8 +1119,15 @@ def cmd_submit(
     socket_path: str | None,
     wait: bool,
     stream: bool,
+    retries: int | None = None,
 ) -> int:
-    from repro.service import Backpressure, JobSpec, ServiceClient, ServiceError
+    from repro.service import (
+        Backpressure,
+        JobSpec,
+        RetryPolicy,
+        ServiceClient,
+        ServiceError,
+    )
 
     config: str | GPUConfig = config_name
     if config_name.startswith("@"):
@@ -972,7 +1146,10 @@ def cmd_submit(
         seed=seed,
         priority=priority,
     )
-    client = ServiceClient(socket_path)
+    retry = None
+    if retries is not None and retries > 0:
+        retry = RetryPolicy(attempts=retries + 1)
+    client = ServiceClient(socket_path, retry=retry)
 
     def on_event(event: dict) -> None:
         kind = event.get("event")
@@ -1066,6 +1243,22 @@ def cmd_jobs(socket_path: str | None, stats: bool) -> int:
                 ["store bytes", store.get("size_bytes", 0)],
                 ["store evictions", store.get("evictions", 0)],
             ]
+            fleet = frame.get("fleet") or {}
+            if fleet:
+                workers = fleet.get("workers") or {}
+                rows.extend(
+                    [
+                        [
+                            "fleet workers",
+                            f"{sum(1 for w in workers.values() if w.get('connected'))}"
+                            f"/{len(workers)} connected",
+                        ],
+                        ["active leases", len(fleet.get("leases") or [])],
+                        ["remote inflight", fleet.get("remote_inflight", 0)],
+                        ["crash requeues", fleet.get("crash_requeues", 0)],
+                        ["dead letters", fleet.get("dead_letters", 0)],
+                    ]
+                )
             print(format_table(["stat", "value"], rows, title="service stats"))
             return 0
         jobs = client.jobs()
@@ -1090,12 +1283,24 @@ def cmd_jobs(socket_path: str | None, stats: bool) -> int:
             job["client"],
             "yes" if job.get("cached") else "",
             job.get("attached", 0),
+            job.get("attempts", 0) or "",
+            job.get("worker", "") or "",
         ]
         for job in jobs
     ]
     print(
         format_table(
-            ["job", "state", "spec", "priority", "client", "cached", "attached"],
+            [
+                "job",
+                "state",
+                "spec",
+                "priority",
+                "client",
+                "cached",
+                "attached",
+                "crashes",
+                "worker",
+            ],
             rows,
             title=f"{len(jobs)} job(s)",
         )
@@ -1175,6 +1380,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.job_timeout,
             args.drain_grace,
             args.store,
+            args.tcp,
+            args.lease_ttl,
+            args.attempt_budget,
+            args.store_budget,
+            args.client_rate,
+        )
+    if args.command == "worker":
+        return cmd_worker(
+            args.connect,
+            args.worker_id,
+            args.count,
+            args.poll_interval,
+            args.max_jobs,
         )
     if args.command == "submit":
         return cmd_submit(
@@ -1187,6 +1405,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.socket,
             args.wait,
             args.stream,
+            args.retries,
         )
     if args.command == "jobs":
         return cmd_jobs(args.socket, args.stats)

@@ -535,6 +535,7 @@ class ConfigRegistry:
 DEFAULT_SERVICE_SOCKET = ".repro/service.sock"
 
 _SOCKET_ENV = "REPRO_SOCKET"
+_WORKERS_ENV = "REPRO_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -549,12 +550,17 @@ class ServiceConfig:
 
     #: Unix-domain socket the daemon listens on.
     socket_path: str = DEFAULT_SERVICE_SOCKET
+    #: Optional ``host:port`` TCP listener beside the unix socket (the
+    #: fleet transport worker hosts and remote clients connect to).
+    tcp: str | None = None
     #: Queue-state file written on drain; None derives
     #: ``<socket_path>.state.json``.
     state_path: str | None = None
     #: Queued jobs (all clients) before submits get a 429 reply.
     max_depth: int = 16
-    #: Concurrent worker processes (the in-flight slot bound).
+    #: Concurrent *local* worker processes (the in-flight slot bound);
+    #: 0 disables local execution entirely — a pure scheduler whose jobs
+    #: are all pulled by remote worker hosts.
     max_inflight: int = 2
     #: Queued jobs one client may hold before its submits get a 429.
     max_client_depth: int = 8
@@ -573,11 +579,37 @@ class ServiceConfig:
     #: are checkpointed back onto the persisted queue.
     drain_grace: float = 30.0
 
+    # --- fleet execution (leases, worker hosts, tenant limits) --------
+    #: Seconds a dispatch lease stays valid without a heartbeat refresh;
+    #: a worker silent for longer is presumed dead and its job requeued.
+    lease_ttl: float = 15.0
+    #: Reaper cadence; None derives ``lease_ttl / 4`` (clamped to
+    #: [0.05, lease_ttl]).
+    lease_check_interval: float | None = None
+    #: Directory of O_EXCL lease claim slots; None derives
+    #: ``<socket_path>.leases``.
+    lease_dir: str | None = None
+    #: Crashed dispatches (worker death / lease expiry) a job may burn
+    #: before it is dead-lettered instead of requeued.
+    attempt_budget: int = 3
+    #: First crash requeue waits this many seconds, doubling per crash.
+    requeue_backoff: float = 0.5
+    #: Seconds an idle worker host waits between queue polls.
+    worker_poll_interval: float = 0.5
+    #: Result-store size budget in bytes (oldest entries evicted past
+    #: it); None leaves the store unbounded.
+    store_budget: int | None = None
+    #: Per-client admission rate limit in submissions/second (token
+    #: bucket with ``client_burst`` capacity); None disables it.
+    client_rate: float | None = None
+    #: Token-bucket burst capacity for ``client_rate``.
+    client_burst: int = 8
+
     def __post_init__(self) -> None:
         if self.max_depth < 0:
             raise ValueError("max_depth must be >= 0")
-        if self.max_inflight < 1:
-            raise ValueError("max_inflight must be >= 1")
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0 = no local workers)")
         if self.max_client_depth < 1:
             raise ValueError("max_client_depth must be >= 1")
         if self.job_timeout is not None and self.job_timeout <= 0:
@@ -590,6 +622,22 @@ class ServiceConfig:
             raise ValueError("sample_interval must be >= 0 (0 = off)")
         if self.drain_grace < 0:
             raise ValueError("drain_grace must be >= 0")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.lease_check_interval is not None and self.lease_check_interval <= 0:
+            raise ValueError("lease_check_interval must be positive (or None)")
+        if self.attempt_budget < 1:
+            raise ValueError("attempt_budget must be >= 1")
+        if self.requeue_backoff < 0:
+            raise ValueError("requeue_backoff must be >= 0")
+        if self.worker_poll_interval <= 0:
+            raise ValueError("worker_poll_interval must be positive")
+        if self.store_budget is not None and self.store_budget < 1:
+            raise ValueError("store_budget must be >= 1 (or None)")
+        if self.client_rate is not None and self.client_rate <= 0:
+            raise ValueError("client_rate must be positive (or None)")
+        if self.client_burst < 1:
+            raise ValueError("client_burst must be >= 1")
 
     @property
     def effective_state_path(self) -> str:
@@ -598,6 +646,20 @@ class ServiceConfig:
             if self.state_path is not None
             else self.socket_path + ".state.json"
         )
+
+    @property
+    def effective_lease_dir(self) -> str:
+        return (
+            self.lease_dir
+            if self.lease_dir is not None
+            else self.socket_path + ".leases"
+        )
+
+    @property
+    def effective_lease_check_interval(self) -> float:
+        if self.lease_check_interval is not None:
+            return self.lease_check_interval
+        return min(self.lease_ttl, max(0.05, self.lease_ttl / 4.0))
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServiceConfig":
@@ -612,6 +674,20 @@ class ServiceConfig:
 def default_socket_path() -> str:
     """Socket path named by ``REPRO_SOCKET``, else the default."""
     return os.environ.get(_SOCKET_ENV) or DEFAULT_SERVICE_SOCKET
+
+
+def default_worker_count() -> int:
+    """Worker hosts ``repro worker`` starts: ``REPRO_WORKERS`` or 1."""
+    raw = os.environ.get(_WORKERS_ENV)
+    if not raw:
+        return 1
+    try:
+        count = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    if count < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {count}")
+    return count
 
 
 #: The default registry: every named configuration of the evaluation.

@@ -26,6 +26,7 @@ from repro.harness.store import ResultStore, default_store_path
 from repro.harness.supervised import (
     SupervisedReport,
     SupervisionPolicy,
+    AttemptAbandoned,
     WatchdogTimeout,
     run_supervised,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "speedups",
     "SupervisedReport",
     "SupervisionPolicy",
+    "AttemptAbandoned",
     "WatchdogTimeout",
     "run_supervised",
 ]

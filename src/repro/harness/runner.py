@@ -399,6 +399,7 @@ class Runner:
             "disk_misses": store.misses if store is not None else 0,
             "disk_stores": store.stores if store is not None else 0,
             "disk_evictions": store.evictions if store is not None else 0,
+            "disk_quarantined": store.quarantined if store is not None else 0,
             "disk_entries": len(store) if store is not None else 0,
             "disk_bytes": store.size_bytes() if store is not None else 0,
         }

@@ -10,10 +10,16 @@ one JSON file per entry under a directory:
 
 Entries carry a schema stamp and echo their full key, so loads are
 corruption-tolerant: unparseable files, stale schema versions, and
-digest collisions are silently evicted (deleted and treated as misses)
-instead of crashing a sweep.  Writes go through a temp file +
-``os.replace`` so a crashed worker can never leave a half-written entry
-behind.
+digest collisions are *quarantined* (renamed to ``<digest>.corrupt`` so
+the evidence survives for a post-mortem) and treated as misses instead
+of crashing a sweep.  Writes go through a temp file + ``os.replace`` so
+a crashed worker can never leave a half-written entry behind.
+
+The store doubles as the *shared* result tier of a worker fleet: the
+O_EXCL :meth:`ResultStore.claim` slots make writes single-winner when
+several schedulers or sweeps share one directory, and an optional
+``max_bytes`` budget evicts the oldest entries (by mtime) so the shared
+tier cannot grow without bound.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Mapping
 
@@ -59,13 +66,21 @@ def fingerprint_digest(result: SimulationResult) -> str:
 class ResultStore:
     """Digest-keyed persistent cache of simulation results."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.path = Path(path)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        #: Corrupt / stale / colliding entries deleted during loads.
+        #: Corrupt / stale / colliding entries removed during loads
+        #: (every one of these is also counted in ``quarantined``).
         self.evictions = 0
+        #: Corrupt entries renamed to ``*.corrupt`` for post-mortems.
+        self.quarantined = 0
+        #: Healthy entries evicted to stay under the size budget.
+        self.budget_evictions = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -129,17 +144,116 @@ class ResultStore:
                 pass
             raise
         self.stores += 1
+        if self.max_bytes is not None:
+            self._enforce_budget(keep=path)
         return path
 
-    def _evict(self, path: Path, *, reason: str = "corrupt entry") -> None:
-        # Eviction keeps sweeps alive through corruption, but a store
-        # that quietly rots is a store nobody trusts — say which file
-        # went bad and why, then count it.
-        logger.warning("evicting corrupt result-store entry %s: %s", path, reason)
+    # ------------------------------------------------------------------
+    # Shared-tier coordination (claims + size budget)
+    # ------------------------------------------------------------------
+    def claim_path(self, key: Mapping) -> Path:
+        return self.path / f"{self.digest(key)}.claim"
+
+    def claim(self, key: Mapping, *, owner: str = "anon", ttl: float = 60.0) -> bool:
+        """Try to become the single writer for ``key``'s entry.
+
+        O_EXCL slot creation makes the race single-winner across
+        processes and hosts sharing the directory; a slot whose ``ttl``
+        has lapsed (its writer died mid-persist) is broken and
+        re-claimed.  Returns False when someone else holds a live claim
+        — the caller skips its write, losing nothing because entries
+        for equal keys are byte-identical by construction.
+        """
+        now = time.time()
+        path = self.claim_path(key)
+        payload = json.dumps(
+            {"owner": owner, "claimed_at": now, "expires_at": now + ttl}
+        ).encode("utf-8")
+        self.path.mkdir(parents=True, exist_ok=True)
+        for attempt in range(2):
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                if attempt:
+                    return False
+                try:
+                    stale = json.loads(path.read_text(encoding="utf-8"))
+                    expired = float(stale.get("expires_at", 0)) <= now
+                except (OSError, ValueError, TypeError):
+                    expired = True  # unreadable slot: treat as dead
+                if not expired:
+                    return False
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            return True
+        return False
+
+    def release_claim(self, key: Mapping) -> bool:
+        """Drop our claim slot; False if it was already gone."""
         try:
-            path.unlink()
+            self.claim_path(key).unlink()
+            return True
         except OSError:
-            pass
+            return False
+
+    def _enforce_budget(self, *, keep: Path | None = None) -> int:
+        """Evict oldest entries (by mtime) until under ``max_bytes``.
+
+        The just-written entry (``keep``) is never evicted — a budget
+        smaller than one entry must not turn every store into a no-op.
+        Returns how many entries were removed.
+        """
+        if self.max_bytes is None or not self.path.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for entry in self.path.glob("*.json"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, entry))
+            total += stat.st_size
+        removed = 0
+        entries.sort()
+        for _mtime, size, entry in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and entry == keep:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self.budget_evictions += 1
+            logger.info("evicted %s to stay under the store budget", entry.name)
+        return removed
+
+    def _evict(self, path: Path, *, reason: str = "corrupt entry") -> None:
+        # Quarantine keeps sweeps alive through corruption without
+        # destroying the evidence: the bad entry moves aside as
+        # ``<digest>.corrupt`` (a later corruption of the same digest
+        # overwrites it — one corpse per entry is plenty), and the load
+        # path sees a plain miss.
+        logger.warning(
+            "quarantining corrupt result-store entry %s: %s", path, reason
+        )
+        corpse = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, corpse)
+            self.quarantined += 1
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
         self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -163,7 +277,8 @@ class ResultStore:
         return total
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (plus quarantine corpses and stale claim
+        slots); returns how many *entries* were removed."""
         removed = 0
         if self.path.is_dir():
             for entry in self.path.glob("*.json"):
@@ -172,6 +287,12 @@ class ResultStore:
                     removed += 1
                 except OSError:
                     pass
+            for extra in ("*.corrupt", "*.claim"):
+                for leftover in self.path.glob(extra):
+                    try:
+                        leftover.unlink()
+                    except OSError:
+                        pass
         return removed
 
     def info(self) -> dict:
@@ -182,6 +303,9 @@ class ResultStore:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "budget_evictions": self.budget_evictions,
+            "max_bytes": self.max_bytes,
             "entries": len(self),
             "size_bytes": self.size_bytes(),
         }

@@ -1,14 +1,24 @@
 """Simulation-as-a-service: daemon, scheduler, queue, wire protocol.
 
 ``repro serve`` runs :class:`~repro.service.server.ServiceServer` on a
-unix socket; ``repro submit`` / ``repro jobs`` talk to it through
-:class:`~repro.service.client.ServiceClient`.  See docs/service.md.
+unix socket (plus an optional ``--tcp`` listener for the fleet);
+``repro submit`` / ``repro jobs`` talk to it through
+:class:`~repro.service.client.ServiceClient`, and ``repro worker`` runs
+a :class:`~repro.service.worker.WorkerHost` that pulls jobs under
+crash-safe leases (:mod:`repro.service.lease`).  See docs/service.md.
 """
 
-from repro.service.client import Backpressure, ServiceClient, ServiceError
+from repro.service.client import (
+    Backpressure,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.lease import Lease, LeaseHeld, LeaseManager
 from repro.service.protocol import (
     ACCEPTED,
     BAD_REQUEST,
+    CONFLICT,
     DRAINING,
     INTERNAL_ERROR,
     MAX_FRAME_BYTES,
@@ -17,41 +27,53 @@ from repro.service.protocol import (
     PRIORITIES,
     PROTOCOL_VERSION,
     TOO_MANY_JOBS,
+    WORKER_OPS,
     JobSpec,
     ProtocolError,
     decode_frame,
     encode_frame,
     error_frame,
     ok_frame,
+    parse_tcp_address,
 )
 from repro.service.queue import AdmissionRefused, Job, JobQueue
 from repro.service.scheduler import Scheduler
 from repro.service.server import ServiceServer, run_server
+from repro.service.worker import WorkerHost, run_worker
 
 __all__ = [
     "ACCEPTED",
     "AdmissionRefused",
     "BAD_REQUEST",
     "Backpressure",
+    "CONFLICT",
     "DRAINING",
     "INTERNAL_ERROR",
     "Job",
     "JobQueue",
     "JobSpec",
+    "Lease",
+    "LeaseHeld",
+    "LeaseManager",
     "MAX_FRAME_BYTES",
     "NOT_FOUND",
     "OK",
     "PRIORITIES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RetryPolicy",
     "Scheduler",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
     "TOO_MANY_JOBS",
+    "WORKER_OPS",
+    "WorkerHost",
     "decode_frame",
     "encode_frame",
     "error_frame",
     "ok_frame",
+    "parse_tcp_address",
     "run_server",
+    "run_worker",
 ]

@@ -10,14 +10,25 @@ Error mapping: any reply with ``ok: false`` raises
 :class:`ServiceError` carrying the status code; a 429 or 503 raises the
 :class:`Backpressure` subclass, which also exposes the server's
 ``retry_after`` hint.
+
+The client reaches a daemon over either transport: a unix socket path,
+or a TCP address (``host:port`` or ``tcp://host:port``) when the daemon
+runs with ``--tcp``.  Construct with a :class:`RetryPolicy` and
+``submit``/``subscribe`` transparently retry transient refusals —
+connection errors and 429/503 backpressure — with jittered exponential
+backoff that honours the server's ``retry_after`` hint.  Retrying a
+submit is safe by construction: the scheduler's dedupe attaches the
+retry to the original job instead of running it twice.
 """
 
 from __future__ import annotations
 
-import json
 import os
+import json
+import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.config import default_socket_path
@@ -28,6 +39,7 @@ from repro.service.protocol import (
     JobSpec,
     ProtocolError,
     encode_frame,
+    parse_tcp_address,
 )
 
 
@@ -59,6 +71,69 @@ def _raise_for_frame(frame: dict) -> dict:
     raise ServiceError(code, error, frame)
 
 
+def is_tcp_address(address: str) -> bool:
+    """True for ``host:port`` / ``tcp://host:port``, False for a path."""
+    if address.startswith("tcp://"):
+        return True
+    if "/" in address or os.sep in address:
+        return False
+    _, sep, port = address.rpartition(":")
+    return bool(sep) and port.isdigit()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient service refusals.
+
+    ``attempts`` bounds the total tries (first call included).  The
+    delay before retry *k* is ``base * 2**k`` capped at ``cap``, raised
+    to the server's ``retry_after`` hint when one came back, then
+    jittered by ``±jitter`` (a fraction) so a herd of retrying clients
+    does not re-arrive in lockstep.
+    """
+
+    attempts: int = 4
+    base: float = 0.25
+    cap: float = 10.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("retry attempts must be >= 1")
+        if self.base <= 0 or self.cap <= 0:
+            raise ValueError("retry base and cap must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("retry jitter must be in [0, 1)")
+
+    def delay(self, attempt: int, hint: float | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        delay = min(self.cap, self.base * (2**attempt))
+        if hint is not None and hint > 0:
+            delay = max(delay, min(self.cap, hint))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * random.random() - 1.0)
+        return max(0.0, delay)
+
+    def call(self, fn: Callable[[], Any], *, sleep: Callable[[float], None] = time.sleep) -> Any:
+        """Run ``fn``, retrying backpressure and connection failures."""
+        failure: Exception | None = None
+        for attempt in range(self.attempts):
+            hint: float | None = None
+            try:
+                return fn()
+            except Backpressure as refusal:
+                failure = refusal
+                hint = refusal.retry_after
+            except ProtocolError:
+                raise  # malformed traffic never gets better by retrying
+            except OSError as defect:
+                failure = defect
+            if attempt + 1 < self.attempts:
+                sleep(self.delay(attempt, hint))
+        assert failure is not None
+        raise failure
+
+
 class ServiceClient:
     """One connection per request; safe to reuse across calls."""
 
@@ -68,15 +143,24 @@ class ServiceClient:
         *,
         timeout: float = 60.0,
         client_name: str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.socket_path = str(socket_path) if socket_path else default_socket_path()
         self.timeout = timeout
         self.client_name = client_name or f"pid-{os.getpid()}"
+        self.retry = retry
 
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
     def _connect(self) -> socket.socket:
+        if is_tcp_address(self.socket_path):
+            address = self.socket_path
+            if address.startswith("tcp://"):
+                address = address[len("tcp://"):]
+            host, port = parse_tcp_address(address)
+            sock = socket.create_connection((host, port), timeout=self.timeout)
+            return sock
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self.timeout)
         sock.connect(self.socket_path)
@@ -167,6 +251,19 @@ class ServiceClient:
             payload = spec.to_dict()
         else:
             payload = JobSpec.from_dict(spec).to_dict()
+        if self.retry is not None:
+            return self.retry.call(
+                lambda: self._submit_once(payload, wait=wait, on_event=on_event)
+            )
+        return self._submit_once(payload, wait=wait, on_event=on_event)
+
+    def _submit_once(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        wait: bool,
+        on_event: Callable[[dict], None] | None,
+    ) -> dict:
         request: dict[str, Any] = {
             "op": "submit",
             "client": self.client_name,
@@ -195,6 +292,15 @@ class ServiceClient:
         self, job_id: str, *, on_event: Callable[[dict], None] | None = None
     ) -> dict:
         """Attach to an existing job's stream; returns its final frame."""
+        if self.retry is not None:
+            return self.retry.call(
+                lambda: self._subscribe_once(job_id, on_event=on_event)
+            )
+        return self._subscribe_once(job_id, on_event=on_event)
+
+    def _subscribe_once(
+        self, job_id: str, *, on_event: Callable[[dict], None] | None = None
+    ) -> dict:
         with self._connect() as sock:
             sock.sendall(encode_frame({"op": "subscribe", "job": job_id}))
             frames = self._frames(sock)
@@ -212,6 +318,8 @@ class ServiceClient:
 
 __all__ = [
     "Backpressure",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "is_tcp_address",
 ]

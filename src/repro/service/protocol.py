@@ -9,9 +9,11 @@ in one terminal frame.
 
 Reply frames always carry ``ok`` (bool) and ``code`` (an HTTP-flavoured
 int from :data:`CODES` — 200 ok, 202 accepted, 400 bad request, 404
-unknown job, 429 backpressure, 500 internal, 503 draining).  A 429/503
-reply includes ``retry_after`` (seconds), the admission controller's
-hint for when capacity is likely to free up.
+unknown job, 409 lease conflict, 429 backpressure, 500 internal, 503
+draining).  A 429/503 reply includes ``retry_after`` (seconds), the
+admission controller's hint for when capacity is likely to free up.  A
+409 tells a worker its lease token is stale — the job was requeued and
+possibly re-leased — so it must abandon the attempt.
 
 The full frame catalogue lives in docs/service.md.
 """
@@ -44,12 +46,29 @@ OK = 200
 ACCEPTED = 202
 BAD_REQUEST = 400
 NOT_FOUND = 404
+CONFLICT = 409
 TOO_MANY_JOBS = 429
 INTERNAL_ERROR = 500
 DRAINING = 503
 
+#: Operations a worker host sends the scheduler (fleet dispatch).
+WORKER_OPS = (
+    "worker_register",
+    "worker_poll",
+    "worker_heartbeat",
+    "worker_done",
+)
+
 #: Operations a request frame may name.
-OPS = ("ping", "stats", "jobs", "status", "submit", "subscribe", "drain")
+OPS = (
+    "ping",
+    "stats",
+    "jobs",
+    "status",
+    "submit",
+    "subscribe",
+    "drain",
+) + WORKER_OPS
 
 
 class ProtocolError(ValueError):
@@ -77,6 +96,14 @@ def decode_frame(line: bytes | str) -> dict:
     if not isinstance(frame, dict):
         raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
     return frame
+
+
+def parse_tcp_address(text: str) -> tuple[str, int]:
+    """Split ``host:port`` (host defaults to loopback when omitted)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ProtocolError(f"bad TCP address {text!r}; expected host:port")
+    return host or "127.0.0.1", int(port)
 
 
 def ok_frame(code: int = OK, **fields: Any) -> dict:

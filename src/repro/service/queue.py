@@ -14,6 +14,18 @@ yet.  Three policies live here:
   backlog exceeds its bounds.  Backpressure beats an unbounded queue:
   the client learns *now* that the service is saturated, with an
   estimate of when to come back, instead of waiting forever.
+* **Per-tenant rate limits** — on top of the depth bounds, an optional
+  token bucket per client (``rate`` submissions/second, ``burst``
+  capacity) smooths floods into 429s with a precise refill hint, so one
+  tenant's scripted storm cannot monopolise admission even when the
+  queue still has room.
+
+Fleet scheduling adds two Job facts: ``attempts`` counts *crashed*
+dispatches (a worker died or its lease expired mid-job), and
+``not_before`` holds the exponential-backoff eligibility time a crashed
+job must wait out before :meth:`JobQueue.pop` will serve it again.  A
+job whose attempts exhaust the scheduler's budget is *dead-lettered*
+(state ``dead``): terminal, queryable, never retried.
 
 The queue also snapshots to / restores from a JSON payload so a
 draining daemon can persist still-queued jobs and a restarted one can
@@ -58,8 +70,10 @@ class Job:
     #: Canonical dedupe/store key (``JobSpec.key()``).
     key: str
     client: str = "anon"
-    #: ``queued`` -> ``running`` -> ``done`` | ``failed``; a drained
-    #: in-flight job goes back to ``queued`` before being persisted.
+    #: ``queued`` -> ``running`` -> ``done`` | ``failed`` | ``dead``; a
+    #: drained in-flight job goes back to ``queued`` before being
+    #: persisted, a crashed one goes back to ``queued`` with backoff
+    #: until its attempt budget dead-letters it.
     state: str = "queued"
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
@@ -75,12 +89,21 @@ class Job:
     #: Times the job was dispatched to a worker (drain/resume can make
     #: this exceed 1 even before worker-level retries).
     dispatches: int = 0
+    #: Dispatches that *crashed* — worker death, lease expiry — counted
+    #: against the scheduler's attempt budget (drain requeues are not
+    #: crashes and do not count).
+    attempts: int = 0
+    #: Earliest wall-clock time :meth:`JobQueue.pop` may serve this job
+    #: again (exponential backoff after a crash; 0 = immediately).
+    not_before: float = 0.0
+    #: Worker id currently (or last) running the job, if any.
+    worker: str | None = None
     #: Bounded history of progress events for late subscribers.
     events: list = field(default_factory=list)
 
     @property
     def done(self) -> bool:
-        return self.state in ("done", "failed")
+        return self.state in ("done", "failed", "dead")
 
     def record_event(self, event: dict) -> None:
         self.events.append(event)
@@ -99,7 +122,10 @@ class Job:
             "cached": self.cached,
             "attached": self.attached,
             "dispatches": self.dispatches,
+            "attempts": self.attempts,
         }
+        if self.worker is not None:
+            out["worker"] = self.worker
         if self.started_at is not None:
             out["started_at"] = self.started_at
         if self.finished_at is not None:
@@ -118,6 +144,7 @@ class Job:
             "client": self.client,
             "submitted_at": self.submitted_at,
             "dispatches": self.dispatches,
+            "attempts": self.attempts,
         }
 
     @classmethod
@@ -129,6 +156,7 @@ class Job:
             client=str(data.get("client", "anon")),
             submitted_at=float(data.get("submitted_at", 0.0)),
             dispatches=int(data.get("dispatches", 0)),
+            attempts=int(data.get("attempts", 0)),
         )
 
 
@@ -148,12 +176,23 @@ class JobQueue:
         max_depth: int = 16,
         max_inflight: int = 2,
         max_client_depth: int = 8,
+        rate: float | None = None,
+        burst: int = 8,
     ) -> None:
-        if max_inflight < 1:
-            raise ValueError("max_inflight must be >= 1")
+        if max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0 = no local workers)")
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
         self.max_depth = max_depth
         self.max_inflight = max_inflight
         self.max_client_depth = max_client_depth
+        #: Per-client token bucket: ``rate`` submissions/second refill,
+        #: ``burst`` capacity.  None disables rate limiting.
+        self.rate = rate
+        self.burst = burst
+        self._buckets: dict[str, tuple[float, float]] = {}
         self._lanes: dict[str, OrderedDict[str, deque[Job]]] = {
             priority: OrderedDict() for priority in PRIORITIES
         }
@@ -167,6 +206,7 @@ class JobQueue:
         #: Lifetime telemetry.
         self.admitted = 0
         self.refused = 0
+        self.rate_limited = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -206,6 +246,7 @@ class JobQueue:
             "max_inflight": self.max_inflight,
             "admitted": self.admitted,
             "refused": self.refused,
+            "rate_limited": self.rate_limited,
             "per_priority": {
                 priority: sum(len(jobs) for jobs in lane.values())
                 for priority, lane in self._lanes.items()
@@ -227,12 +268,31 @@ class JobQueue:
             else DEFAULT_RUNTIME_ESTIMATE
         )
         backlog = self._depth + len(self.inflight)
-        waves = max(1.0, backlog / self.max_inflight)
+        waves = max(1.0, backlog / max(1, self.max_inflight))
         return round(max(0.1, waves * runtime), 1)
 
-    def admit(self, client: str) -> None:
+    def _take_token(self, client: str, now: float) -> None:
+        """Charge one token-bucket token; refuse with the refill hint."""
+        if self.rate is None:
+            return
+        tokens, last = self._buckets.get(client, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+        if tokens < 1.0:
+            self.refused += 1
+            self.rate_limited += 1
+            self._buckets[client] = (tokens, now)
+            raise AdmissionRefused(
+                f"client {client!r} exceeded {self.rate:g} submissions/s "
+                f"(burst {self.burst})",
+                round(max(0.1, (1.0 - tokens) / self.rate), 2),
+            )
+        self._buckets[client] = (tokens - 1.0, now)
+
+    def admit(self, client: str, now: float | None = None) -> None:
         """Gate one submission; raises :class:`AdmissionRefused` on
-        saturation (total backlog or one client's share)."""
+        saturation (total backlog, one client's share, or a client
+        outrunning its rate limit)."""
+        self._take_token(client, time.time() if now is None else now)
         if self._depth >= self.max_depth:
             self.refused += 1
             raise AdmissionRefused(
@@ -274,24 +334,43 @@ class JobQueue:
         self._depth += 1
         self._per_client[job.client] = self._per_client.get(job.client, 0) + 1
 
-    def pop(self) -> Job | None:
-        """Next job by priority then client round-robin; None if empty."""
+    def pop(self, now: float | None = None) -> Job | None:
+        """Next *eligible* job by priority then client round-robin.
+
+        A job still serving its crash backoff (``not_before`` in the
+        future) is skipped — it keeps its queue position and becomes
+        servable once the clock passes.  None when nothing is eligible
+        (the queue may still be non-empty).
+        """
+        now = time.time() if now is None else now
         for priority in PRIORITIES:
             lane = self._lanes[priority]
-            if not lane:
-                continue
-            client, jobs = next(iter(lane.items()))
-            job = jobs.popleft()
-            # Rotate: the served client goes to the back of its lane.
-            del lane[client]
-            if jobs:
-                lane[client] = jobs
-            self._depth -= 1
-            self._per_client[client] -= 1
-            if not self._per_client[client]:
-                del self._per_client[client]
-            return job
+            for client, jobs in list(lane.items()):
+                if jobs[0].not_before > now:
+                    continue  # head job is backing off; try the next client
+                job = jobs.popleft()
+                # Rotate: the served client goes to the back of its lane.
+                del lane[client]
+                if jobs:
+                    lane[client] = jobs
+                self._depth -= 1
+                self._per_client[client] -= 1
+                if not self._per_client[client]:
+                    del self._per_client[client]
+                return job
         return None
+
+    def next_eligible_at(self, now: float | None = None) -> float | None:
+        """Earliest future ``not_before`` among queued jobs, or None
+        when the queue is empty / something is already eligible."""
+        now = time.time() if now is None else now
+        soonest: float | None = None
+        for job in self:
+            if job.not_before <= now:
+                return None
+            if soonest is None or job.not_before < soonest:
+                soonest = job.not_before
+        return soonest
 
     def has_slot(self) -> bool:
         return len(self.inflight) < self.max_inflight

@@ -24,6 +24,14 @@ and the fork-based worker processes:
   in-flight jobs a grace period, pushes the stragglers back onto the
   queue, and :meth:`Scheduler.save_state` persists everything still
   queued so a restarted daemon resumes exactly where this one stopped.
+* **Fleet dispatch** — remote worker hosts (:mod:`repro.service.worker`)
+  pull jobs over the TCP transport with ``worker_poll`` and stream
+  heartbeats home.  Every dispatch — local fork or remote pull — is
+  covered by a :class:`~repro.service.lease.Lease`; a worker that dies
+  or partitions simply stops refreshing it, the reaper notices the
+  expiry, and the job is requeued with exponential backoff.  A job
+  whose crashes exhaust ``attempt_budget`` is *dead-lettered* (state
+  ``dead``) instead of retried forever — the poison-job quarantine.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from repro.gpu.gpu import SimulationResult
 from repro.harness.pool import pool_context, run_point_supervised
 from repro.harness.store import ResultStore
 from repro.harness.supervised import SupervisionPolicy
+from repro.service.lease import LeaseHeld, LeaseManager, describe_leases
 from repro.service.protocol import JobSpec, ProtocolError
 from repro.service.queue import AdmissionRefused, Job, JobQueue
 
@@ -56,6 +65,15 @@ HEARTBEAT_MIN_INTERVAL = 0.05
 #: the supervised runner's own (timeout * attempts) budget before it
 #: terminates a silent worker outright.
 HARD_KILL_SLACK = 10.0
+
+#: Chaos hook: a worker whose job carries this seed exits hard before
+#: simulating — the "poison job" fault the fleet tests and smoke use to
+#: prove crash-requeue and dead-lettering without patching any code.
+CHAOS_EXIT_ENV = "REPRO_CHAOS_EXIT_SEED"
+
+#: Seconds a result-store claim slot stays authoritative before another
+#: writer may break it (covers a writer that died mid-persist).
+STORE_CLAIM_TTL = 60.0
 
 
 def _job_worker(spec_payload: dict, policy_payload: dict, sample_interval: int, conn) -> None:
@@ -71,6 +89,11 @@ def _job_worker(spec_payload: dict, policy_payload: dict, sample_interval: int, 
     # which would make the scheduler's terminate() during drain a no-op.
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_DFL)
+    chaos_seed = os.environ.get(CHAOS_EXIT_ENV)
+    if chaos_seed and str(spec_payload.get("seed")) == chaos_seed:
+        # Poison-job fault injection: die without a terminal message,
+        # exactly like a kill -9 mid-simulation.
+        os._exit(86)
     try:
         spec = JobSpec.from_dict(spec_payload)
         point = spec.to_point()
@@ -156,6 +179,11 @@ class Scheduler:
             max_depth=self.config.max_depth,
             max_inflight=self.config.max_inflight,
             max_client_depth=self.config.max_client_depth,
+            rate=self.config.client_rate,
+            burst=self.config.client_burst,
+        )
+        self.leases = LeaseManager(
+            self.config.effective_lease_dir, ttl=self.config.lease_ttl
         )
         #: Every job this daemon has seen, by id.
         self.jobs: dict[str, Job] = {}
@@ -167,12 +195,23 @@ class Scheduler:
         self._run_tasks: dict[str, asyncio.Task] = {}
         self._requeue_on_death: set[str] = set()
         self._dispatcher: asyncio.Task | None = None
+        self._reaper: asyncio.Task | None = None
         self._wake: asyncio.Event | None = None
         self.draining = False
         self.started_at = time.time()
         #: Simulations actually executed by workers (cache/dedupe hits
         #: never increment this — the currency of the dedupe tests).
         self.simulations = 0
+        #: Remote worker hosts by id -> registration/health record.
+        self.workers: dict[str, dict] = {}
+        #: Jobs currently leased to remote workers (job id -> worker id).
+        #: Disjoint from the local fork pool: remote dispatch does not
+        #: consume ``max_inflight`` slots.
+        self.remote: dict[str, str] = {}
+        #: Jobs dead-lettered after exhausting their attempt budget.
+        self.dead_letters = 0
+        #: Crash requeues performed (lease expiry, worker death).
+        self.crash_requeues = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -181,6 +220,17 @@ class Scheduler:
         """Attach to the running event loop and begin dispatching."""
         self._wake = asyncio.Event()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._reaper = asyncio.create_task(self._reap_loop())
+        orphans = self.leases.load()
+        if orphans:
+            # Slots left by a dead scheduler.  The jobs they covered ride
+            # the queue snapshot (drain persisted them) or were lost with
+            # the old job table; either way nobody holds them now.
+            logger.warning(
+                "dropped %d orphaned lease slot(s) from a previous run: %s",
+                len(orphans),
+                ", ".join(lease.job_id for lease in orphans),
+            )
 
     def _kick(self) -> None:
         if self._wake is not None:
@@ -197,13 +247,15 @@ class Scheduler:
         self.draining = True
         if grace is None:
             grace = self.config.drain_grace
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
-            try:
-                await self._dispatcher
-            except asyncio.CancelledError:
-                pass
-            self._dispatcher = None
+        for task_name in ("_dispatcher", "_reaper"):
+            task = getattr(self, task_name)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, task_name, None)
         running = [task for task in self._run_tasks.values() if not task.done()]
         if running:
             done, pending = await asyncio.wait(running, timeout=grace)
@@ -234,6 +286,33 @@ class Scheduler:
                         if proc is not None and proc.is_alive():
                             proc.kill()
                     await asyncio.wait(pending, timeout=HARD_KILL_SLACK)
+        # Remote in-flight jobs get the same grace to report home, then
+        # are requeued for the next daemon (their workers will get a 409
+        # when they eventually try to complete a released lease).
+        if self.remote:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + grace
+            while self.remote and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            for job_id in list(self.remote):
+                worker = self.remote.pop(job_id)
+                self.leases.release_job(job_id)
+                job = self.jobs.get(job_id)
+                if job is None:
+                    continue
+                logger.warning(
+                    "drain grace expired; re-queueing remote job %s (worker %s)",
+                    job_id,
+                    worker,
+                )
+                job.state = "queued"
+                job.started_at = None
+                job.worker = None
+                self.queue.push(job)
+                self._publish(job, {"event": "requeued"})
+                done = self._done.get(job_id)
+                if done is not None:
+                    done.set()
         # Everything left queued (never dispatched, or just requeued)
         # rides the persisted snapshot into the next daemon; tell any
         # blocked waiters/subscribers now instead of letting them hang
@@ -262,7 +341,7 @@ class Scheduler:
             raise ProtocolError(str(defect)) from None
 
         active = self._by_key.get(key)
-        if active is not None and active.state != "failed":
+        if active is not None and active.state not in ("failed", "dead"):
             # Queued, running, or done: attach instead of re-running.
             active.attached += 1
             return active, {"deduped": True}
@@ -351,7 +430,30 @@ class Scheduler:
         job.state = "running"
         job.started_at = time.time()
         job.dispatches += 1
-        self._publish(job, {"event": "started", "dispatch": job.dispatches})
+        job.worker = f"local-{os.getpid()}"
+        try:
+            lease = self.leases.grant(
+                job.id, job.worker, attempt=job.attempts + 1
+            )
+        except LeaseHeld as held:
+            # Should be unreachable for local dispatch (the job came off
+            # the queue, so nothing holds it) — but never run a job two
+            # owners believe is theirs.
+            logger.error("local dispatch of %s refused: %s", job.id, held)
+            job.state = "queued"
+            job.started_at = None
+            self.queue.mark_finished(job)
+            self.queue.push(job)
+            return
+        self._publish(
+            job,
+            {
+                "event": "started",
+                "dispatch": job.dispatches,
+                "worker": job.worker,
+                "attempt": lease.attempt,
+            },
+        )
 
         ctx = pool_context()
         parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -373,6 +475,7 @@ class Scheduler:
         result: dict | None = None
         report: dict | None = None
         error: str | None = None
+        crashed = False
         try:
             while True:
                 try:
@@ -384,14 +487,17 @@ class Scheduler:
                         f"no worker message for {budget:.0f}s; "
                         "terminated by the scheduler watchdog"
                     )
+                    crashed = True
                     proc.terminate()
                     break
                 if msg is None:  # EOF without a terminal frame
                     if result is None and error is None:
                         error = "worker process died without reporting a result"
+                        crashed = True
                     break
                 kind = msg.get("type")
                 if kind == "heartbeat":
+                    self.leases.refresh(lease.token)
                     event = {"event": "progress", **{
                         k: v for k, v in msg.items() if k != "type"
                     }}
@@ -400,13 +506,16 @@ class Scheduler:
                     result = msg["result"]
                     report = msg.get("report")
                 elif kind == "error":
+                    # A worker-reported in-job exception is deterministic
+                    # — rerunning it fails identically — so it fails fast
+                    # instead of burning the crash-retry budget.
                     error = msg.get("error", "unknown worker error")
         finally:
             parent_conn.close()
             await loop.run_in_executor(None, proc.join)
             self._procs.pop(job.id, None)
             self.queue.mark_finished(job)
-            self._finish(job, result=result, report=report, error=error)
+            self._finish(job, result=result, report=report, error=error, crash=crashed)
 
     def _finish(
         self,
@@ -415,12 +524,16 @@ class Scheduler:
         result: dict | None,
         report: dict | None,
         error: str | None,
+        crash: bool = False,
     ) -> None:
+        self.leases.release_job(job.id)
+        self.remote.pop(job.id, None)
         if job.id in self._requeue_on_death and result is None:
             # Drained mid-flight: back onto the queue for the next daemon.
             self._requeue_on_death.discard(job.id)
             job.state = "queued"
             job.started_at = None
+            job.worker = None
             self.queue.push(job)
             # "requeued" is a stream-terminal event: the server turns it
             # into a 503 drain notice, and waiters unblock now instead
@@ -431,6 +544,55 @@ class Scheduler:
                 done.set()
             return
         self._requeue_on_death.discard(job.id)
+        if result is None and crash and not self.draining:
+            # The worker died (kill -9, watchdog, lease expiry) rather
+            # than reporting a failure: the job itself may be fine, so it
+            # retries — with exponential backoff, under a budget so a
+            # poison job cannot crash-loop the fleet forever.
+            job.attempts += 1
+            budget = self.config.attempt_budget
+            if job.attempts < budget:
+                delay = self.config.requeue_backoff * (2 ** (job.attempts - 1))
+                job.state = "queued"
+                job.started_at = None
+                job.worker = None
+                job.not_before = time.time() + delay
+                self.crash_requeues += 1
+                self.queue.push(job)
+                logger.warning(
+                    "job %s crashed (%s); requeue attempt %d/%d in %.2fs",
+                    job.id,
+                    error,
+                    job.attempts,
+                    budget,
+                    delay,
+                )
+                self._publish(
+                    job,
+                    {
+                        "event": "retry",
+                        "attempt": job.attempts,
+                        "budget": budget,
+                        "delay": round(delay, 3),
+                        "error": error,
+                    },
+                )
+                self._kick_after(delay)
+                return
+            job.finished_at = time.time()
+            job.state = "dead"
+            job.error = (
+                f"dead-lettered after {job.attempts} crashed attempt(s); "
+                f"last: {error or 'worker died'}"
+            )
+            self.dead_letters += 1
+            logger.error("job %s dead-lettered: %s", job.id, job.error)
+            self._publish(job, {"event": "end", "state": job.state, "error": job.error})
+            done = self._done.get(job.id)
+            if done is not None:
+                done.set()
+            self._kick()
+            return
         job.finished_at = time.time()
         if result is not None:
             job.state = "done"
@@ -438,15 +600,7 @@ class Scheduler:
             self.simulations += 1
             if job.started_at is not None:
                 self.queue.record_runtime(job.finished_at - job.started_at)
-            if self.store is not None:
-                try:
-                    self.store.store(
-                        json.loads(job.key), SimulationResult.from_dict(result)
-                    )
-                except OSError as defect:
-                    logger.warning(
-                        "could not persist result for %s: %s", job.id, defect
-                    )
+            self._persist_result(job, result)
         else:
             job.state = "failed"
             job.error = error or "unknown failure"
@@ -460,6 +614,208 @@ class Scheduler:
         if done is not None:
             done.set()
         self._kick()
+
+    def _persist_result(self, job: Job, result: dict) -> None:
+        """Write one finished result to the shared store, under a claim.
+
+        With several schedulers (or a scheduler racing a sweep) sharing
+        one store directory, the O_EXCL claim makes the write
+        single-winner: whoever claims persists, everyone else skips —
+        the entry is byte-identical either way, so skipping loses
+        nothing.
+        """
+        if self.store is None:
+            return
+        key = json.loads(job.key)
+        owner = job.worker or "scheduler"
+        try:
+            if not self.store.claim(key, owner=owner, ttl=STORE_CLAIM_TTL):
+                logger.info(
+                    "skipping store write for %s: another writer holds the claim",
+                    job.id,
+                )
+                return
+            try:
+                self.store.store(key, SimulationResult.from_dict(result))
+            finally:
+                self.store.release_claim(key)
+        except OSError as defect:
+            logger.warning("could not persist result for %s: %s", job.id, defect)
+
+    def _kick_after(self, delay: float) -> None:
+        """Re-run the dispatcher once a backoff window has passed."""
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        loop.call_later(max(0.0, delay) + 0.01, self._kick)
+
+    # ------------------------------------------------------------------
+    # Fleet (remote worker hosts)
+    # ------------------------------------------------------------------
+    def register_worker(self, worker: str, info: dict | None = None) -> dict:
+        """Record a worker host; returns the knobs it should run with."""
+        now = time.time()
+        record = self.workers.setdefault(
+            worker, {"registered_at": now, "jobs_completed": 0}
+        )
+        record["last_seen"] = now
+        record["connected"] = True
+        if info:
+            record["info"] = dict(info)
+        logger.info("worker %s registered", worker)
+        return {
+            "lease_ttl": self.config.lease_ttl,
+            "poll_interval": self.config.worker_poll_interval,
+            "sample_interval": self.config.sample_interval,
+        }
+
+    def next_job_for(self, worker: str) -> dict | None:
+        """Lease the next eligible queued job to a remote worker host.
+
+        Returns the full dispatch payload (spec, policy, lease token) or
+        None when nothing is eligible.  Remote dispatch does not consume
+        local ``max_inflight`` slots — those bound the fork pool only.
+        """
+        if self.draining:
+            return None
+        record = self.workers.get(worker)
+        if record is not None:
+            record["last_seen"] = time.time()
+        job = self.queue.pop()
+        if job is None:
+            return None
+        try:
+            lease = self.leases.grant(job.id, worker, attempt=job.attempts + 1)
+        except LeaseHeld as held:
+            logger.error("remote dispatch of %s refused: %s", job.id, held)
+            self.queue.push(job)
+            return None
+        job.state = "running"
+        job.started_at = time.time()
+        job.dispatches += 1
+        job.worker = worker
+        self.remote[job.id] = worker
+        self._publish(
+            job,
+            {
+                "event": "started",
+                "dispatch": job.dispatches,
+                "worker": worker,
+                "attempt": lease.attempt,
+            },
+        )
+        return {
+            "job_id": job.id,
+            "token": lease.token,
+            "attempt": lease.attempt,
+            "lease_ttl": lease.ttl,
+            "spec": job.spec.to_dict(),
+            "policy": self._policy_payload(),
+            "sample_interval": self.config.sample_interval,
+        }
+
+    def worker_heartbeat(
+        self, worker: str, job_id: str, token: str, progress: dict | None = None
+    ) -> bool:
+        """Refresh a remote lease; False means the token is stale (the
+        job was re-leased or completed elsewhere — abandon the attempt)."""
+        record = self.workers.get(worker)
+        if record is not None:
+            record["last_seen"] = time.time()
+        lease = self.leases.holder(job_id)
+        if lease is None or lease.token != token:
+            return False
+        if self.leases.refresh(token) is None:
+            return False
+        job = self.jobs.get(job_id)
+        if job is not None and progress:
+            self._publish(
+                job, {"event": "progress", **progress, "worker": worker}
+            )
+        return True
+
+    def worker_done(
+        self,
+        worker: str,
+        job_id: str,
+        token: str,
+        *,
+        result: dict | None = None,
+        report: dict | None = None,
+        error: str | None = None,
+        crash: bool = False,
+    ) -> bool:
+        """Accept a remote terminal report; False if the lease is stale."""
+        record = self.workers.get(worker)
+        if record is not None:
+            record["last_seen"] = time.time()
+        lease = self.leases.holder(job_id)
+        if lease is None or lease.token != token:
+            return False
+        job = self.jobs.get(job_id)
+        if job is None:
+            self.leases.release_job(job_id)
+            return False
+        if record is not None and result is not None:
+            record["jobs_completed"] += 1
+        self._finish(job, result=result, report=report, error=error, crash=crash)
+        return True
+
+    def worker_disconnected(self, worker: str) -> None:
+        """Fast-path a dropped worker connection: expire its leases now
+        so the reaper requeues on its next tick instead of after a TTL."""
+        record = self.workers.get(worker)
+        if record is not None:
+            record["connected"] = False
+            record["last_seen"] = time.time()
+        touched = self.leases.expire_now(worker=worker)
+        if touched:
+            logger.warning(
+                "worker %s disconnected holding %d lease(s): %s",
+                worker,
+                len(touched),
+                ", ".join(lease.job_id for lease in touched),
+            )
+
+    async def _reap_loop(self) -> None:
+        """Periodically sweep expired leases and requeue their jobs."""
+        interval = self.config.effective_lease_check_interval
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self.reap()
+            except Exception:  # the reaper must never die quietly
+                logger.exception("lease reaper tick failed")
+
+    def reap(self) -> int:
+        """Sweep expired leases once; returns how many jobs were
+        crash-handled.  Split from the loop so tests drive it directly."""
+        count = 0
+        for lease in self.leases.expired():
+            if lease.job_id in self._run_tasks:
+                # Local dispatch: the pipe-EOF/watchdog path owns crash
+                # detection there; this lease is bookkeeping only.
+                continue
+            job = self.jobs.get(lease.job_id)
+            if not self.leases.sweep(lease):
+                continue
+            if job is None or job.done or job.state == "queued":
+                continue
+            count += 1
+            self._finish(
+                job,
+                result=None,
+                report=None,
+                error=(
+                    f"lease expired after {lease.ttl:g}s of silence "
+                    f"(worker {lease.worker}, attempt {lease.attempt})"
+                ),
+                crash=True,
+            )
+        if self.queue.depth > 0 and not self.draining:
+            self._kick()
+        return count
 
     # ------------------------------------------------------------------
     # Streaming / waiting
@@ -511,6 +867,18 @@ class Scheduler:
             "jobs": by_state,
             "queue": self.queue.info(),
             "store": self.store.info() if self.store is not None else None,
+            "fleet": {
+                "workers": {
+                    worker: dict(record) for worker, record in self.workers.items()
+                },
+                "leases": describe_leases(self.leases.active()),
+                "remote_inflight": len(self.remote),
+                "dead_letters": self.dead_letters,
+                "crash_requeues": self.crash_requeues,
+                "leases_granted": self.leases.granted,
+                "leases_expired": self.leases.expired_total,
+                "lease_ttl": self.config.lease_ttl,
+            },
         }
 
     # ------------------------------------------------------------------

@@ -1,9 +1,15 @@
 """The asyncio daemon behind ``repro serve``.
 
-One :class:`ServiceServer` listens on a unix-domain socket, speaks the
-newline-delimited-JSON protocol of :mod:`repro.service.protocol`, and
-delegates everything stateful to a
-:class:`~repro.service.scheduler.Scheduler`.
+One :class:`ServiceServer` listens on a unix-domain socket — plus an
+optional TCP listener (``--tcp host:port``) so remote worker hosts and
+clients on other machines can reach it — speaks the newline-delimited-
+JSON protocol of :mod:`repro.service.protocol`, and delegates
+everything stateful to a :class:`~repro.service.scheduler.Scheduler`.
+
+Worker hosts hold one persistent connection for their poll/heartbeat/
+done traffic; the connection remembers which worker registered on it,
+and when it drops the scheduler fast-expires that worker's leases so
+its jobs requeue on the next reaper tick instead of after a full TTL.
 
 Shutdown is a *drain*, never a drop: SIGTERM (or a ``drain`` frame)
 flips the daemon into draining mode — new submissions get a 503 with a
@@ -30,6 +36,7 @@ from repro.harness.store import ResultStore, default_store_path, fingerprint_dig
 from repro.service.protocol import (
     ACCEPTED,
     BAD_REQUEST,
+    CONFLICT,
     DRAINING,
     INTERNAL_ERROR,
     MAX_FRAME_BYTES,
@@ -42,6 +49,7 @@ from repro.service.protocol import (
     encode_frame,
     error_frame,
     ok_frame,
+    parse_tcp_address,
 )
 from repro.service.queue import AdmissionRefused, Job
 from repro.service.scheduler import Scheduler
@@ -62,13 +70,18 @@ class ServiceServer:
         self.config = config if config is not None else ServiceConfig.from_env()
         if store is None:
             path = default_store_path()
-            store = ResultStore(path) if path else None
+            store = (
+                ResultStore(path, max_bytes=self.config.store_budget)
+                if path
+                else None
+            )
         elif not isinstance(store, ResultStore):
-            store = ResultStore(store)
+            store = ResultStore(store, max_bytes=self.config.store_budget)
         self.scheduler = Scheduler(
             config=self.config, store=store, registry=registry
         )
         self._server: asyncio.base_events.Server | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
         self._stopped: asyncio.Event | None = None
         self._shutdown_task: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -111,6 +124,12 @@ class ServiceServer:
         self._server = await asyncio.start_unix_server(
             self._handle_client, path=self.config.socket_path, limit=MAX_FRAME_BYTES
         )
+        if self.config.tcp:
+            host, port = parse_tcp_address(self.config.tcp)
+            self._tcp_server = await asyncio.start_server(
+                self._handle_client, host=host, port=port, limit=MAX_FRAME_BYTES
+            )
+            logger.info("fleet transport listening on %s:%d", host, port)
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
                 loop.add_signal_handler(sig, self._signal_shutdown)
@@ -143,9 +162,10 @@ class ServiceServer:
         await self.scheduler.drain()
         persisted = self.scheduler.save_state()
         logger.info("drained; %d job(s) persisted for resume", persisted)
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for listener in (self._server, self._tcp_server):
+            if listener is not None:
+                listener.close()
+                await listener.wait_closed()
         # Give open connections a moment to flush their terminal frames
         # (drain notices to waiters) before the process goes away.
         flushing = [task for task in self._conn_tasks if not task.done()]
@@ -168,6 +188,9 @@ class ServiceServer:
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
+        # Which worker host registered on this connection (if any); a
+        # drop of the connection fast-expires that worker's leases.
+        ctx: dict[str, Any] = {"worker": None}
         try:
             while True:
                 try:
@@ -186,7 +209,7 @@ class ServiceServer:
                     await self._send(writer, error_frame(BAD_REQUEST, str(defect)))
                     continue
                 try:
-                    await self._dispatch(frame, writer)
+                    await self._dispatch(frame, writer, ctx)
                 except (ConnectionResetError, BrokenPipeError):
                     raise
                 except Exception as failure:  # one bad op must not kill the daemon
@@ -201,6 +224,8 @@ class ServiceServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            if ctx["worker"] is not None and not self.draining:
+                self.scheduler.worker_disconnected(ctx["worker"])
             writer.close()
             try:
                 await writer.wait_closed()
@@ -214,7 +239,12 @@ class ServiceServer:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    async def _dispatch(self, frame: dict, writer: asyncio.StreamWriter) -> None:
+    async def _dispatch(
+        self,
+        frame: dict,
+        writer: asyncio.StreamWriter,
+        ctx: dict[str, Any] | None = None,
+    ) -> None:
         op = frame.get("op")
         if op == "ping":
             await self._send(
@@ -247,9 +277,106 @@ class ServiceServer:
                 ok_frame(draining=True, retry_after=self.scheduler.queue.retry_after()),
             )
             self._signal_shutdown()
+        elif op in ("worker_register", "worker_poll", "worker_heartbeat", "worker_done"):
+            await self._op_worker(op, frame, writer, ctx)
         else:
             await self._send(
                 writer, error_frame(BAD_REQUEST, f"unknown op {op!r}")
+            )
+
+    async def _op_worker(
+        self,
+        op: str,
+        frame: dict,
+        writer: asyncio.StreamWriter,
+        ctx: dict[str, Any] | None,
+    ) -> None:
+        """Fleet dispatch: worker hosts register, poll, heartbeat, report.
+
+        A stale lease token — the job was requeued and possibly handed
+        to someone else — answers 409, telling the worker to abandon
+        that attempt and poll for fresh work.
+        """
+        worker = frame.get("worker")
+        if not isinstance(worker, str) or not worker:
+            await self._send(
+                writer, error_frame(BAD_REQUEST, f"{op} needs a 'worker' id")
+            )
+            return
+        if ctx is not None:
+            ctx["worker"] = worker
+        if op == "worker_register":
+            knobs = self.scheduler.register_worker(worker, frame.get("info"))
+            await self._send(writer, ok_frame(worker=worker, **knobs))
+            return
+        if op == "worker_poll":
+            if self.draining:
+                await self._send(
+                    writer,
+                    error_frame(
+                        DRAINING,
+                        "service is draining; no new dispatches",
+                        retry_after=self.scheduler.queue.retry_after(),
+                    ),
+                )
+                return
+            payload = self.scheduler.next_job_for(worker)
+            if payload is None:
+                await self._send(
+                    writer,
+                    ok_frame(
+                        job=None, retry_after=self.config.worker_poll_interval
+                    ),
+                )
+            else:
+                await self._send(writer, ok_frame(**{"job": payload["job_id"], **payload}))
+            return
+        job_id = frame.get("job")
+        token = frame.get("token")
+        if not isinstance(job_id, str) or not isinstance(token, str):
+            await self._send(
+                writer, error_frame(BAD_REQUEST, f"{op} needs 'job' and 'token'")
+            )
+            return
+        if op == "worker_heartbeat":
+            progress = frame.get("progress")
+            accepted = self.scheduler.worker_heartbeat(
+                worker, job_id, token, progress if isinstance(progress, dict) else None
+            )
+            if accepted:
+                await self._send(writer, ok_frame(job=job_id, leased=True))
+            else:
+                await self._send(
+                    writer,
+                    error_frame(
+                        CONFLICT,
+                        "stale lease token; the job was requeued — abandon it",
+                        job=job_id,
+                    ),
+                )
+            return
+        # worker_done
+        result = frame.get("result")
+        report = frame.get("report")
+        accepted = self.scheduler.worker_done(
+            worker,
+            job_id,
+            token,
+            result=result if isinstance(result, dict) else None,
+            report=report if isinstance(report, dict) else None,
+            error=None if frame.get("error") is None else str(frame["error"]),
+            crash=bool(frame.get("crash")),
+        )
+        if accepted:
+            await self._send(writer, ok_frame(ACCEPTED, job=job_id, accepted=True))
+        else:
+            await self._send(
+                writer,
+                error_frame(
+                    CONFLICT,
+                    "stale lease token; the report was discarded",
+                    job=job_id,
+                ),
             )
 
     def _lookup(self, frame: dict) -> Job | None:

@@ -1,0 +1,205 @@
+"""Protocol fuzz: ``decode_frame`` on hostile bytes, round-trips on
+every frame type the service speaks (worker/lease ops included).
+
+The property under test is the daemon's first line of defence: *any*
+byte string a client throws at the socket either decodes to a dict or
+raises :class:`ProtocolError` — never a different exception, never a
+non-dict — and every frame the service itself emits survives an
+encode -> decode round-trip unchanged.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    WORKER_OPS,
+    JobSpec,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_tcp_address,
+)
+
+# ----------------------------------------------------------------------
+# Fuzz: decode_frame must never raise anything but ProtocolError
+# ----------------------------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestDecodeFuzz:
+    @given(data=st.binary(max_size=512))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_decode_or_protocol_error(self, data):
+        try:
+            frame = decode_frame(data)
+        except ProtocolError:
+            return
+        assert isinstance(frame, dict)
+
+    @given(text=st.text(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_decodes_or_protocol_error(self, text):
+        try:
+            frame = decode_frame(text)
+        except ProtocolError:
+            return
+        assert isinstance(frame, dict)
+
+    @given(value=json_values)
+    @settings(max_examples=200, deadline=None)
+    def test_valid_json_non_dicts_are_rejected(self, value):
+        line = json.dumps(value).encode()
+        if isinstance(value, dict):
+            assert decode_frame(line) == value
+        else:
+            with pytest.raises(ProtocolError):
+                decode_frame(line)
+
+    @given(payload=st.dictionaries(st.text(max_size=8), json_scalars, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_frames_never_escape_protocol_error(self, payload):
+        line = encode_frame(payload)
+        for cut in range(len(line)):
+            try:
+                frame = decode_frame(line[:cut])
+            except ProtocolError:
+                continue
+            assert isinstance(frame, dict)
+
+    def test_oversized_frame_is_a_protocol_error_not_an_allocation(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_invalid_utf8_is_handled(self):
+        # errors="replace" turns junk bytes into U+FFFD; the result is
+        # then either valid JSON or a ProtocolError, never UnicodeError.
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe{\n")
+
+    def test_empty_and_whitespace_frames(self):
+        for junk in (b"", b"\n", b"   \n", "", "  "):
+            with pytest.raises(ProtocolError):
+                decode_frame(junk)
+
+
+# ----------------------------------------------------------------------
+# Round-trips: every frame type the service emits or accepts
+# ----------------------------------------------------------------------
+
+def roundtrip(frame: dict) -> dict:
+    return decode_frame(encode_frame(frame))
+
+
+class TestFrameRoundTrips:
+    def test_every_op_request_round_trips(self):
+        for op in OPS:
+            frame = {"op": op, "worker": "w-1", "job": "j-1", "token": "t"}
+            assert roundtrip(frame) == frame
+
+    def test_worker_ops_are_registered(self):
+        assert set(WORKER_OPS) <= set(OPS)
+
+    def test_reply_frames_round_trip(self):
+        frames = [
+            ok_frame(),
+            ok_frame(202, job="j-1", state="queued", deduped=True),
+            ok_frame(job=None, retry_after=0.5),
+            ok_frame(
+                job="j-1",
+                token="abc123",
+                attempt=2,
+                lease_ttl=15.0,
+                spec={"benchmark": "gups", "scale": 0.5},
+                policy={"slice_events": 1000, "wall_clock_limit": None},
+            ),
+            ok_frame(job="j-1", leased=True),
+            ok_frame(202, job="j-1", accepted=True),
+            error_frame(400, "bad frame"),
+            error_frame(409, "stale lease token", job="j-1"),
+            error_frame(429, "queue full", retry_after=2.0),
+            error_frame(503, "draining", retry_after=1.0),
+        ]
+        for frame in frames:
+            assert roundtrip(frame) == frame
+
+    def test_worker_request_frames_round_trip(self):
+        frames = [
+            {"op": "worker_register", "worker": "w-1", "info": {"pid": 42}},
+            {"op": "worker_poll", "worker": "w-1"},
+            {
+                "op": "worker_heartbeat",
+                "worker": "w-1",
+                "job": "j-1",
+                "token": "tok",
+                "progress": {"cycle": 100, "events": 5000, "gauges": {}},
+            },
+            {
+                "op": "worker_done",
+                "worker": "w-1",
+                "job": "j-1",
+                "token": "tok",
+                "crash": True,
+                "error": "worker process died",
+            },
+            {
+                "op": "worker_done",
+                "worker": "w-1",
+                "job": "j-1",
+                "token": "tok",
+                "crash": False,
+                "result": {"cycles": 10},
+                "report": {"attempts": 1, "degraded": False, "failures": []},
+            },
+        ]
+        for frame in frames:
+            assert roundtrip(frame) == frame
+
+    @given(
+        payload=st.dictionaries(
+            st.text(min_size=1, max_size=12), json_values, max_size=6
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_dict_round_trips(self, payload):
+        assert roundtrip(payload) == payload
+
+    def test_jobspec_round_trips_through_a_frame(self):
+        spec = JobSpec(benchmark="gups", scale=0.5, seed=7, priority="high")
+        wire = roundtrip({"op": "submit", **spec.to_dict()})
+        assert JobSpec.from_dict(wire) == spec
+
+
+class TestParseTcpAddress:
+    def test_host_port(self):
+        assert parse_tcp_address("10.0.0.2:7733") == ("10.0.0.2", 7733)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_tcp_address(":7733") == ("127.0.0.1", 7733)
+
+    @pytest.mark.parametrize("bad", ["", "host", "host:", "host:port", "7733"])
+    def test_junk_is_a_protocol_error(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_tcp_address(bad)

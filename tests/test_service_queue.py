@@ -174,6 +174,91 @@ class TestJobQueue:
     def test_pop_empty_returns_none(self):
         assert JobQueue().pop() is None
 
+    def test_rate_limit_refuses_a_flood_with_a_refill_hint(self):
+        queue = JobQueue(max_depth=100, max_client_depth=100, rate=1.0, burst=2)
+        now = 1000.0
+        queue.admit("storm", now=now)
+        queue.admit("storm", now=now)  # burst exhausted
+        with pytest.raises(AdmissionRefused) as refusal:
+            queue.admit("storm", now=now)
+        assert "submissions/s" in refusal.value.reason
+        assert 0.0 < refusal.value.retry_after <= 1.0
+        assert queue.rate_limited == 1
+        # A different client has its own bucket.
+        queue.admit("calm", now=now)
+        # The storm refills at 1 token/s.
+        queue.admit("storm", now=now + 1.5)
+
+    def test_rate_limit_off_by_default(self):
+        queue = JobQueue(max_depth=100, max_client_depth=100)
+        for _ in range(50):
+            queue.admit("storm", now=1000.0)
+        assert queue.rate_limited == 0
+
+    def test_rate_and_burst_validation(self):
+        with pytest.raises(ValueError):
+            JobQueue(rate=0.0)
+        with pytest.raises(ValueError):
+            JobQueue(burst=0)
+
+    def test_backoff_makes_a_job_ineligible_until_not_before(self):
+        queue = JobQueue(max_depth=10)
+        job = make_job("crashed")
+        job.not_before = 2000.0
+        queue.push(job)
+        assert queue.pop(now=1999.0) is None
+        assert queue.depth == 1  # skipped, not dropped
+        assert queue.pop(now=2000.5) is job
+
+    def test_backoff_skips_to_another_clients_eligible_job(self):
+        queue = JobQueue(max_depth=10, max_client_depth=10)
+        crashed = make_job("crashed", client="a")
+        crashed.not_before = 2000.0
+        queue.push(crashed)
+        queue.push(make_job("healthy", client="b"))
+        assert queue.pop(now=1000.0).id == "healthy"
+
+    def test_next_eligible_at(self):
+        queue = JobQueue(max_depth=10)
+        assert queue.next_eligible_at(now=1000.0) is None  # empty
+        job = make_job("later")
+        job.not_before = 1500.0
+        queue.push(job)
+        assert queue.next_eligible_at(now=1000.0) == 1500.0
+        queue.push(make_job("now"))
+        assert queue.next_eligible_at(now=1000.0) is None  # one is ready
+
+    def test_zero_inflight_slots_allowed(self):
+        """``max_inflight=0`` is the remote-only scheduler: admission
+        still works, local dispatch never does."""
+        queue = JobQueue(max_inflight=0)
+        assert not queue.has_slot()
+        queue.admit("anyone")
+        with pytest.raises(ValueError):
+            JobQueue(max_inflight=-1)
+
+    def test_dead_is_a_terminal_state(self):
+        job = make_job("poison")
+        job.state = "dead"
+        assert job.done is True
+        assert job.describe()["state"] == "dead"
+
+    def test_describe_surfaces_attempts_and_worker(self):
+        job = make_job("fleet")
+        assert job.describe()["attempts"] == 0
+        assert "worker" not in job.describe()
+        job.attempts = 2
+        job.worker = "w-42-abc"
+        described = job.describe()
+        assert described["attempts"] == 2
+        assert described["worker"] == "w-42-abc"
+
+    def test_snapshot_preserves_attempts(self):
+        job = make_job("crashed-once")
+        job.attempts = 1
+        restored = Job.from_snapshot(job.snapshot())
+        assert restored.attempts == 1
+
     def test_admitted_counts_admission_decisions_only(self):
         """Drain-requeued and resumed jobs re-enter via push() alone;
         only admit() — the actual admission decision — counts."""

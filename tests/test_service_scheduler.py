@@ -2,11 +2,12 @@
 
 These run the real dispatch loop in-process with a stubbed-out
 ``_run_job`` body, so they can assert scheduling invariants (the
-in-flight bound, drain-time waiter notification) without forking
-worker processes.
+in-flight bound, drain-time waiter notification, fleet lease
+lifecycle) without forking worker processes.
 """
 
 import asyncio
+import time
 
 from repro.config import ServiceConfig
 from repro.service.protocol import JobSpec
@@ -131,5 +132,198 @@ class TestDrainNotifiesWaiters:
                 e for e in job.events if e.get("event") == "requeued"
             ]
             assert len(requeues) == 1
+
+        asyncio.run(scenario())
+
+
+class TestFleetDispatch:
+    """Remote dispatch: leases, heartbeats, crash requeue, dead-letter.
+
+    These drive the scheduler's fleet API directly (no server, no
+    worker processes) with a very short lease TTL, calling ``reap()``
+    by hand instead of waiting on the reaper task."""
+
+    def make(self, **overrides) -> Scheduler:
+        defaults = dict(
+            max_inflight=0,  # remote-only: no local fork dispatch
+            max_depth=32,
+            max_client_depth=32,
+            lease_ttl=0.05,
+            attempt_budget=2,
+            requeue_backoff=0.0,
+        )
+        defaults.update(overrides)
+        return Scheduler(config=ServiceConfig(**defaults))
+
+    def test_remote_dispatch_grants_a_lease(self):
+        async def scenario():
+            sched = self.make()
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=1))
+            payload = sched.next_job_for("w-1")
+            assert payload is not None
+            assert payload["job_id"] == job.id
+            assert payload["attempt"] == 1
+            assert job.state == "running" and job.worker == "w-1"
+            assert sched.remote == {job.id: "w-1"}
+            assert sched.leases.holder(job.id).token == payload["token"]
+            # Nothing else is eligible; a second poll comes back empty.
+            assert sched.next_job_for("w-2") is None
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_heartbeat_refreshes_and_stale_token_is_refused(self):
+        async def scenario():
+            sched = self.make(lease_ttl=10.0)
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=2))
+            payload = sched.next_job_for("w-1")
+            token = payload["token"]
+            assert sched.worker_heartbeat("w-1", job.id, token) is True
+            assert sched.worker_heartbeat("w-1", job.id, "stale") is False
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_worker_done_with_stale_token_is_discarded(self):
+        async def scenario():
+            sched = self.make(lease_ttl=10.0)
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=3))
+            sched.next_job_for("w-1")
+            accepted = sched.worker_done(
+                "w-2", job.id, "stale", result={"cycles": 1}, crash=False
+            )
+            assert accepted is False
+            assert job.state == "running"  # the real holder still owns it
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_expired_lease_requeues_with_attempt_counted(self):
+        async def scenario():
+            sched = self.make()
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=4))
+            payload = sched.next_job_for("w-1")
+            await asyncio.sleep(0.08)  # outlive the 0.05s TTL
+            # The background reaper may already have fired; either way
+            # the job must be back in the queue with the attempt counted.
+            sched.reap()
+            assert job.state == "queued"
+            assert job.attempts == 1
+            assert sched.crash_requeues == 1
+            # The old token is dead: a late report is discarded.
+            assert not sched.worker_done(
+                "w-1", job.id, payload["token"], result={"cycles": 1}
+            )
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_attempt_budget_dead_letters_the_job(self):
+        async def scenario():
+            sched = self.make(attempt_budget=2)
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=5))
+            for _attempt in (1, 2):
+                assert sched.next_job_for("w-1") is not None
+                await asyncio.sleep(0.08)
+                sched.reap()
+            assert job.state == "dead"
+            assert job.attempts == 2
+            assert "dead-lettered" in job.error
+            assert sched.dead_letters == 1
+            assert job.events[-1]["event"] == "end"
+            # Resubmitting the same spec starts fresh instead of
+            # attaching to the corpse.
+            fresh, extra = sched.submit(JobSpec(benchmark="gups", seed=5))
+            assert fresh.id != job.id and "deduped" not in extra
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_requeue_backoff_delays_eligibility(self):
+        async def scenario():
+            sched = self.make(requeue_backoff=30.0, attempt_budget=3)
+            sched.start()
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=6))
+            sched.next_job_for("w-1")
+            await asyncio.sleep(0.08)
+            sched.reap()
+            assert job.state == "queued"
+            assert job.not_before > time.time() + 25.0
+            # Still backing off: no dispatch for anyone.
+            assert sched.next_job_for("w-2") is None
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_worker_disconnect_fast_paths_the_requeue(self):
+        async def scenario():
+            sched = self.make(lease_ttl=60.0)  # TTL alone would take ages
+            sched.start()
+            sched.register_worker("w-1")
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=7))
+            sched.next_job_for("w-1")
+            sched.worker_disconnected("w-1")
+            assert sched.workers["w-1"]["connected"] is False
+            assert sched.reap() == 1  # no TTL wait needed
+            assert job.state == "queued" and job.attempts == 1
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_remote_completion_finishes_the_job(self):
+        async def scenario():
+            sched = self.make(lease_ttl=10.0)
+            sched.start()
+            sched.register_worker("w-1")
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=8))
+            payload = sched.next_job_for("w-1")
+            accepted = sched.worker_done(
+                "w-1",
+                job.id,
+                payload["token"],
+                result={"cycles": 42},
+                report={"attempts": 1},
+                crash=False,
+            )
+            assert accepted is True
+            assert job.state == "done" and job.result == {"cycles": 42}
+            assert sched.simulations == 1
+            assert sched.remote == {}
+            assert sched.leases.holder(job.id) is None
+            assert sched.workers["w-1"]["jobs_completed"] == 1
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_draining_scheduler_dispatches_nothing(self):
+        async def scenario():
+            sched = self.make()
+            sched.start()
+            sched.submit(JobSpec(benchmark="gups", seed=9))
+            sched.draining = True
+            assert sched.next_job_for("w-1") is None
+            sched.draining = False
+            await sched.drain(grace=0.0)
+
+        asyncio.run(scenario())
+
+    def test_stats_surface_the_fleet(self):
+        async def scenario():
+            sched = self.make(lease_ttl=10.0)
+            sched.start()
+            sched.register_worker("w-1", {"pid": 1234})
+            job, _ = sched.submit(JobSpec(benchmark="gups", seed=10))
+            sched.next_job_for("w-1")
+            fleet = sched.stats()["fleet"]
+            assert "w-1" in fleet["workers"]
+            assert fleet["remote_inflight"] == 1
+            assert fleet["leases"][0]["job"] == job.id
+            assert fleet["leases_granted"] == 1
+            await sched.drain(grace=0.0)
 
         asyncio.run(scenario())

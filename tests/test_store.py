@@ -93,9 +93,37 @@ class TestResultStore:
         with caplog.at_level("WARNING", logger="repro.harness.store"):
             assert store.load(point.store_key()) is None
         assert any(
-            "evicting corrupt result-store entry" in record.message
+            "quarantining corrupt result-store entry" in record.message
             for record in caplog.records
         )
+
+    def test_corrupt_entry_is_quarantined_for_post_mortem(
+        self, tmp_path, result, point
+    ):
+        """The bad entry moves aside as ``*.corrupt`` — evidence for a
+        post-mortem — instead of being destroyed."""
+        store = ResultStore(tmp_path / "store")
+        path = store.store(point.store_key(), result)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.load(point.store_key()) is None
+        corpse = path.with_suffix(".corrupt")
+        assert corpse.exists()
+        assert corpse.read_text(encoding="utf-8") == "{not json"
+        assert store.quarantined == 1
+        assert store.info()["quarantined"] == 1
+        # The corpse is invisible to the entry count and a later store
+        # of the same key simply writes a fresh entry beside it.
+        assert len(store) == 0
+        store.store(point.store_key(), result)
+        assert store.load(point.store_key()) is not None
+
+    def test_clear_removes_quarantine_corpses(self, tmp_path, result, point):
+        store = ResultStore(tmp_path / "store")
+        path = store.store(point.store_key(), result)
+        path.write_text("{not json", encoding="utf-8")
+        store.load(point.store_key())
+        store.clear()
+        assert list((tmp_path / "store").glob("*.corrupt")) == []
 
     def test_size_bytes_tracks_entries(self, tmp_path, result, point):
         store = ResultStore(tmp_path / "store")
@@ -131,6 +159,69 @@ class TestResultStore:
         assert default_store_path() is None
         monkeypatch.setenv("REPRO_STORE", "/tmp/somewhere")
         assert default_store_path() == "/tmp/somewhere"
+
+
+class TestSharedTier:
+    """Claims and the size budget — the fleet's shared-store policies."""
+
+    def test_claim_is_single_winner(self, tmp_path, point):
+        store = ResultStore(tmp_path / "store")
+        key = point.store_key()
+        assert store.claim(key, owner="w-1") is True
+        assert store.claim(key, owner="w-2") is False
+        assert store.release_claim(key) is True
+        assert store.release_claim(key) is False  # already gone
+        assert store.claim(key, owner="w-2") is True
+
+    def test_claims_for_distinct_keys_are_independent(self, tmp_path, point):
+        store = ResultStore(tmp_path / "store")
+        other = dict(point.store_key(), seed=999)
+        assert store.claim(point.store_key()) is True
+        assert store.claim(other) is True
+
+    def test_expired_claim_is_broken(self, tmp_path, point):
+        store = ResultStore(tmp_path / "store")
+        key = point.store_key()
+        assert store.claim(key, owner="w-dead", ttl=-1.0) is True  # born stale
+        assert store.claim(key, owner="w-new") is True
+
+    def test_unreadable_claim_slot_is_broken(self, tmp_path, point):
+        store = ResultStore(tmp_path / "store")
+        key = point.store_key()
+        (tmp_path / "store").mkdir(parents=True, exist_ok=True)
+        store.claim_path(key).write_text("{not json", encoding="utf-8")
+        assert store.claim(key, owner="w-1") is True
+
+    def test_budget_evicts_oldest_entries(self, tmp_path, result, point):
+        import os
+        import time
+
+        unbounded = ResultStore(tmp_path / "store")
+        first = unbounded.store(point.store_key(), result)
+        entry_size = first.stat().st_size
+        # Budget fits roughly one entry: storing a second must evict
+        # the older one and keep the newcomer.
+        store = ResultStore(tmp_path / "store", max_bytes=entry_size + 10)
+        newer_key = dict(point.store_key(), seed=999)
+        past = time.time() - 60
+        os.utime(first, (past, past))  # make `first` unambiguously older
+        second = store.store(newer_key, result)
+        assert not first.exists()
+        assert second.exists()
+        assert store.budget_evictions == 1
+        assert store.info()["budget_evictions"] == 1
+        assert store.info()["max_bytes"] == entry_size + 10
+
+    def test_budget_never_evicts_the_entry_just_written(
+        self, tmp_path, result, point
+    ):
+        store = ResultStore(tmp_path / "store", max_bytes=1)  # absurdly small
+        path = store.store(point.store_key(), result)
+        assert path.exists()  # keep= protects it even over budget
+
+    def test_budget_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store", max_bytes=0)
 
 
 class TestTwoTierIntegration:

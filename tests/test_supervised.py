@@ -6,6 +6,7 @@ from repro.config import baseline_config
 from repro.gpu.gpu import GPUSimulator
 from repro.harness.runner import build_workload
 from repro.harness.supervised import (
+    AttemptAbandoned,
     SupervisionPolicy,
     WatchdogTimeout,
     run_supervised,
@@ -63,6 +64,60 @@ class TestHappyPath:
         assert report.result.complete
         assert report.faults_injected == 6
         assert report.audits > 0
+
+
+class TestHeartbeat:
+    def test_heartbeat_fires_every_slice_by_default(self):
+        config = baseline_config()
+        beats = []
+        run_supervised(
+            sim_factory(config),
+            policy=SupervisionPolicy(slice_events=1_000),
+            heartbeat=lambda sim: beats.append(sim.engine.events_processed),
+        )
+        assert len(beats) > 1
+        assert beats == sorted(beats)  # monotone progress
+
+    def test_heartbeat_every_thins_the_cadence(self):
+        config = baseline_config()
+        every_slice = []
+        run_supervised(
+            sim_factory(config),
+            policy=SupervisionPolicy(slice_events=1_000),
+            heartbeat=lambda _sim: every_slice.append(1),
+        )
+        thinned = []
+        run_supervised(
+            sim_factory(config),
+            policy=SupervisionPolicy(slice_events=1_000, heartbeat_every=4),
+            heartbeat=lambda _sim: thinned.append(1),
+        )
+        assert len(thinned) == len(every_slice) // 4
+
+    def test_heartbeat_every_validation(self):
+        with pytest.raises(ValueError, match="heartbeat_every"):
+            SupervisionPolicy(heartbeat_every=0)
+
+    def test_abandoned_attempt_propagates_unretried(self):
+        """A heartbeat that raises AttemptAbandoned — the fleet's
+        lease-lost signal — aborts the run immediately: no retry, no
+        degraded partial result."""
+        config = baseline_config()
+        attempts = []
+
+        def abandon(_sim):
+            attempts.append(1)
+            raise AttemptAbandoned("lease went stale")
+
+        with pytest.raises(AttemptAbandoned):
+            run_supervised(
+                sim_factory(config),
+                policy=SupervisionPolicy(
+                    slice_events=1_000, max_retries=3, degrade=True
+                ),
+                heartbeat=abandon,
+            )
+        assert len(attempts) == 1
 
 
 class TestWatchdog:

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Fleet smoke check (the CI gate for ``repro serve --tcp`` + workers).
+
+Boots a real scheduler subprocess with **zero local worker slots** and
+two ``repro worker`` host subprocesses over TCP, then proves the
+crash-safety guarantees of lease-based dispatch end to end:
+
+1. **Re-lease after kill -9** — the worker holding a running job is
+   SIGKILLed; the lease expires, the scheduler requeues the job, and
+   the surviving worker completes it.
+2. **Determinism across the crash** — the final fingerprint is
+   byte-identical to a single-node in-process run of the same spec.
+3. **Exactly one store entry** — the re-dispatch does not duplicate
+   or corrupt the shared result store.
+4. **Clean drain** — a drain sends the polling survivor home; both
+   scheduler and worker exit 0.
+
+Usage:
+    python tools/fleet_smoke.py [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import baseline_config  # noqa: E402
+from repro.harness.runner import Runner  # noqa: E402
+from repro.harness.store import ResultStore, fingerprint_digest  # noqa: E402
+from repro.service import JobSpec, ServiceClient  # noqa: E402
+
+CHECKS: list[str] = []
+
+#: A dead worker is noticed in about two seconds (TTL + reaper tick).
+LEASE_TTL = "1.5"
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f" — {detail}" if detail else ""))
+    CHECKS.append(label)
+    if not ok:
+        sys.exit(1)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def fleet_env(root: str) -> dict:
+    return dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(
+            filter(
+                None,
+                [
+                    os.path.join(os.path.dirname(__file__), "..", "src"),
+                    os.environ.get("PYTHONPATH"),
+                ],
+            )
+        ),
+        REPRO_SOCKET=os.path.join(root, "svc.sock"),
+        REPRO_STORE=os.path.join(root, "store"),
+    )
+
+
+def start_scheduler(root: str, port: int) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--tcp",
+            f"127.0.0.1:{port}",
+            "--max-inflight",
+            "0",
+            "--lease-ttl",
+            LEASE_TTL,
+            "--drain-grace",
+            "1",
+        ],
+        env=fleet_env(root),
+    )
+    ServiceClient(f"127.0.0.1:{port}").wait_until_up(15.0)
+    return process
+
+
+def start_worker(root: str, port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--poll-interval",
+            "0.1",
+        ],
+        env=fleet_env(root),
+    )
+
+
+def wait_for(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise TimeoutError(f"{what} not reached within {timeout:.0f}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="scale of the victim job; must outlive the kill window",
+    )
+    args = parser.parse_args()
+    started = time.monotonic()
+
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as root:
+        port = free_port()
+        scheduler = start_scheduler(root, port)
+        workers = [start_worker(root, port), start_worker(root, port)]
+        client = ServiceClient(f"127.0.0.1:{port}", client_name="smoke")
+        try:
+            wait_for(
+                lambda: len(client.stats()["fleet"]["workers"]) == 2,
+                timeout=15,
+                what="both workers registered",
+            )
+            check("scheduler + 2 worker hosts up", True, f"tcp port {port}")
+
+            # --- kill -9 the lease holder mid-job ---------------------
+            spec = JobSpec(benchmark="gups", scale=args.scale, seed=23)
+            job_id = client.submit(spec)["job"]
+            running = wait_for(
+                lambda: (record := client.status(job_id))["state"] == "running"
+                and record.get("worker")
+                and record,
+                timeout=20,
+                what="job running on a worker",
+            )
+            victim = running["worker"]
+            victim_pid = int(victim.split("-")[1])
+            time.sleep(0.5)  # let it get properly mid-simulation
+            os.kill(victim_pid, signal.SIGKILL)
+
+            final = client.subscribe(job_id)
+            record = client.status(job_id)
+            check(
+                "killed worker's lease expires and the job requeues",
+                record["attempts"] == 1
+                and client.stats()["fleet"]["crash_requeues"] == 1,
+                f"victim {victim}",
+            )
+            check(
+                "surviving worker completes the requeued job",
+                final["state"] == "done" and record["worker"] != victim,
+                f"survivor {record['worker']}",
+            )
+
+            # --- determinism + store hygiene --------------------------
+            local = Runner().run(
+                baseline_config(), "gups", scale=args.scale, seed=23
+            )
+            check(
+                "fingerprint identical to a single-node run",
+                final["digest"] == fingerprint_digest(local),
+                final["digest"][:16],
+            )
+            store = ResultStore(os.path.join(root, "store"))
+            check(
+                "exactly one store entry despite the re-dispatch",
+                store.info()["entries"] == 1,
+            )
+
+            # --- clean drain ------------------------------------------
+            # Only the survivor can exit cleanly; the victim already
+            # died by our SIGKILL above.
+            survivors = [w for w in workers if w.pid != victim_pid]
+            client.drain()
+            scheduler_exit = scheduler.wait(timeout=30)
+            survivor_exits = [w.wait(timeout=30) for w in survivors]
+            check(
+                "drain sends the fleet home with clean exits",
+                scheduler_exit == 0 and survivor_exits == [0],
+                f"scheduler={scheduler_exit} survivor={survivor_exits}",
+            )
+        finally:
+            for process in [scheduler, *workers]:
+                if process.poll() is None:
+                    process.kill()
+                    process.wait(timeout=5)
+
+    elapsed = time.monotonic() - started
+    print(f"\nfleet smoke: {len(CHECKS)} checks passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
