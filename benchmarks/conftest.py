@@ -47,6 +47,17 @@ def drop_memo_cache():
             f"{info['disk_hits']} hits / {info['disk_misses']} misses / "
             f"{info['disk_stores']} stores"
         )
+        # Load the store back through the one sanctioned analysis path
+        # (never by scraping entry files) and point at the report CLI.
+        from repro.analysis import ResultSet
+
+        resultset = ResultSet.from_store(info["store_path"])
+        if resultset:
+            print(
+                f"analysis view: {resultset.describe()} — run "
+                f"`python -m repro report --store {info['store_path']}` "
+                "for medians, CIs, and significance"
+            )
     clear_cache()
 
 

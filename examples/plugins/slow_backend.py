@@ -19,6 +19,14 @@ Activate::
 
 with a config dict naming it, e.g. ``{"walk_backend": "molasses"}``,
 or in Python ``baseline_config().derive(walk_backend="molasses")``.
+
+**Hijack mode** (``REPRO_MOLASSES_HIJACK=1``): instead of registering a
+new backend name, re-register the standard names (``hardware``,
+``softwalker``, ``hybrid``) with molasses-wrapped factories.  Configs
+then keep their exact fingerprints — the store key, cell identity, and
+simulation outcome are unchanged — while every run pays the sleep tax.
+That is how the report-smoke builds an "identical simulation, slower
+host" snapshot for ``repro report --against`` to flag.
 """
 
 import os
@@ -74,7 +82,63 @@ class MolassesWalkBackend:
             register(metrics)
 
 
+class _SleepyBackend:
+    """Hijack-mode wrapper: the original backend plus a per-walk sleep.
+
+    Unlike :class:`MolassesWalkBackend` it wraps a *captured factory*
+    rather than re-resolving through the registry — the registry slot
+    it occupies is the one being replaced, so resolving by name again
+    would recurse.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def submit(self, request):
+        time.sleep(DELAY)
+        self._inner.submit(request)
+
+    @property
+    def on_complete(self):
+        return self._inner.on_complete
+
+    @on_complete.setter
+    def on_complete(self, callback):
+        self._inner.on_complete = callback
+
+    @property
+    def in_flight(self):
+        return getattr(self._inner, "in_flight", 0)
+
+    def live_requests(self):
+        inner = getattr(self._inner, "live_requests", None)
+        return inner() if inner is not None else []
+
+    def register_metrics(self, metrics):
+        register = getattr(self._inner, "register_metrics", None)
+        if register is not None:
+            register(metrics)
+
+
 @WALK_BACKENDS.decorator("molasses", replace_existing=True)
 def build_molasses_backend(ctx):
     """Factory the registry calls; ``ctx`` is a BackendContext."""
     return MolassesWalkBackend(ctx)
+
+
+if os.environ.get("REPRO_MOLASSES_HIJACK"):
+    for _name in ("hardware", "softwalker", "hybrid"):
+        try:
+            _original = WALK_BACKENDS.factory(_name)
+        except KeyError:
+            continue
+
+        def _make_sleepy(original):
+            def factory(ctx):
+                return _SleepyBackend(original(ctx))
+
+            return factory
+
+        WALK_BACKENDS.register(
+            _name, _make_sleepy(_original), replace_existing=True
+        )

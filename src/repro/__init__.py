@@ -27,11 +27,11 @@ from repro.config import (
 )
 from repro.gpu.gpu import GPUSimulator, SimulationResult, SimulationTruncated
 from repro.harness.pool import SweepPoint, make_point, matrix_points
+from repro.analysis import ResultSet, analyze, diff_resultsets
 from repro.harness.runner import (
     Runner,
     build_workload,
     default_runner,
-    run_matrix,
     run_workload,
     speedups,
 )
@@ -92,6 +92,9 @@ __all__ = [
     "Observability",
     "TraceRecorder",
     "validate_chrome_trace",
+    "ResultSet",
+    "analyze",
+    "diff_resultsets",
     "ResultStore",
     "Runner",
     "SweepPoint",
@@ -99,7 +102,6 @@ __all__ = [
     "default_runner",
     "make_point",
     "matrix_points",
-    "run_matrix",
     "run_workload",
     "speedups",
     "SupervisedReport",
@@ -123,3 +125,13 @@ __all__ = [
     "REGULAR_ABBRS",
     "get_spec",
 ]
+
+
+def __getattr__(name: str):
+    if name == "run_matrix":
+        raise ImportError(
+            "repro.run_matrix() was removed after its deprecation cycle; "
+            "use repro.default_runner().run_matrix(...) (or a Runner "
+            "instance) instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

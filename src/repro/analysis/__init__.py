@@ -1,4 +1,15 @@
-"""Analysis: area models, latency breakdowns, result formatting."""
+"""Analysis: the stable public package for turning results into decisions.
+
+This package is the supported surface for everything downstream of a
+simulation: hardware area/energy models, result formatting, and — the
+statistical experiment layer — :class:`ResultSet` (the ONE way to load
+and group results), :func:`analyze` / :func:`diff_resultsets`, the
+:mod:`~repro.analysis.stat_tests` primitives, and markdown/HTML report
+rendering.  Import from here (``from repro.analysis import ResultSet,
+analyze``) rather than scraping :class:`~repro.harness.store.ResultStore`
+entries or private modules; ``__all__`` below is the compatibility
+contract.
+"""
 
 from repro.analysis.area import (
     GA102_DIE_AREA_MM2,
@@ -16,9 +27,49 @@ from repro.analysis.energy import (
     energy_report,
     translation_energy_per_walk,
 )
+from repro.analysis.experiment import (
+    AnalysisError,
+    CellComparison,
+    ConfigRanking,
+    ExperimentAnalysis,
+    MetricSummary,
+    RegressionCell,
+    RegressionReport,
+    analyze,
+    diff_resultsets,
+)
+from repro.analysis.render import (
+    html_table,
+    markdown_table,
+    render_html,
+    render_markdown,
+    render_markdown_diff,
+)
 from repro.analysis.report import format_breakdown, format_series, format_table, geomean
+from repro.analysis.resultset import (
+    DEFAULT_METRIC_NAMES,
+    METRICS,
+    PRIMARY_METRIC,
+    CellKey,
+    Metric,
+    ResultCell,
+    ResultSet,
+    config_label,
+    resolve_metrics,
+    result_digest,
+)
+from repro.analysis.stat_tests import (
+    MannWhitneyResult,
+    ReplicateComparison,
+    benjamini_hochberg,
+    bootstrap_ci,
+    compare_replicates,
+    mann_whitney_u,
+    relative_verdict,
+)
 
 __all__ = [
+    # Hardware models
     "EnergyModel",
     "EnergyReport",
     "energy_report",
@@ -31,8 +82,44 @@ __all__ = [
     "hardware_overhead_summary",
     "softwalker_relative_area",
     "softwalker_storage_bits",
+    # Formatting
     "format_breakdown",
     "format_series",
     "format_table",
     "geomean",
+    "markdown_table",
+    "html_table",
+    # ResultSet (the one loading path)
+    "ResultSet",
+    "ResultCell",
+    "CellKey",
+    "Metric",
+    "METRICS",
+    "DEFAULT_METRIC_NAMES",
+    "PRIMARY_METRIC",
+    "config_label",
+    "resolve_metrics",
+    "result_digest",
+    # Experiment analysis
+    "analyze",
+    "diff_resultsets",
+    "AnalysisError",
+    "ExperimentAnalysis",
+    "MetricSummary",
+    "CellComparison",
+    "ConfigRanking",
+    "RegressionReport",
+    "RegressionCell",
+    # Statistics
+    "mann_whitney_u",
+    "MannWhitneyResult",
+    "compare_replicates",
+    "ReplicateComparison",
+    "benjamini_hochberg",
+    "bootstrap_ci",
+    "relative_verdict",
+    # Rendering
+    "render_markdown",
+    "render_markdown_diff",
+    "render_html",
 ]

@@ -14,6 +14,10 @@ Commands:
 * ``checkpoint`` — prove checkpoint/resume is bit-identical on a run.
 * ``bench`` — measure host throughput over a config x benchmark matrix,
   write/compare ``BENCH_*.json`` reports (the perf regression guard).
+* ``report`` — statistical experiment report over a result store:
+  per-cell medians with bootstrap CIs, geomean speedup vs a baseline,
+  BH-corrected significance, markdown + HTML output, and an
+  ``--against OLD`` snapshot diff that exits 1 on regressions.
 * ``profile`` — engine self-profile of one run: ranked callback sites,
   component wall-clock shares, optional collapsed-stack flamegraph.
 * ``serve`` — run the simulation-as-a-service daemon on a unix socket
@@ -28,9 +32,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.analysis.report import format_table
+from repro.analysis import (
+    AnalysisError,
+    ResultSet,
+    analyze,
+    diff_resultsets,
+    format_table,
+    render_html,
+    render_markdown,
+)
+from repro.analysis.experiment import DEFAULT_DIFF_TOLERANCE
+from repro.analysis.resultset import DEFAULT_METRIC_NAMES
+from repro.analysis.stat_tests import DEFAULT_ALPHA
 from repro.config import DEFAULT_CONFIGS, GPUConfig, baseline_config
 from repro.harness import experiments
 from repro.harness.pool import SweepPoint, matrix_points
@@ -261,6 +277,68 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=DEFAULT_THRESHOLD,
         help="relative slowdown tolerated before a cell regresses",
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="statistical experiment report over a result store",
+    )
+    report_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="result store directory to report on (default: REPRO_STORE)",
+    )
+    report_parser.add_argument(
+        "--files",
+        metavar="PATH",
+        nargs="+",
+        help="load these result/store-entry JSON files instead of a store",
+    )
+    report_parser.add_argument(
+        "--baseline",
+        metavar="CONFIG",
+        help='baseline config label (default: "baseline" when present)',
+    )
+    report_parser.add_argument(
+        "--metrics",
+        metavar="CSV",
+        help=(
+            "comma-separated metric names "
+            f"(default: {','.join(DEFAULT_METRIC_NAMES)})"
+        ),
+    )
+    report_parser.add_argument(
+        "--alpha",
+        type=float,
+        default=DEFAULT_ALPHA,
+        help="significance level after BH correction",
+    )
+    report_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the markdown report here (an .html twin rides along)",
+    )
+    report_parser.add_argument(
+        "--html", metavar="PATH", help="write the HTML report here"
+    )
+    report_parser.add_argument(
+        "--against",
+        metavar="OLD",
+        help=(
+            "diff this store against OLD store snapshot; "
+            "exits 1 on significant regressions or missing cells"
+        ),
+    )
+    report_parser.add_argument(
+        "--compare",
+        metavar="OLD",
+        help="alias for --against (repro bench vocabulary)",
+    )
+    report_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_DIFF_TOLERANCE,
+        help="relative movement tolerated before a significant cell regresses",
     )
 
     profile_parser = sub.add_parser(
@@ -900,6 +978,154 @@ def cmd_bench(
     return 0 if comparison.passed else 1
 
 
+def _load_resultset(
+    store: str | None, files: Sequence[str] | None, *, what: str
+) -> ResultSet:
+    """Resolve a ``--store DIR`` / ``--files ...`` pair into a ResultSet."""
+    if files:
+        return ResultSet.from_files(files, source=f"{len(files)} file(s)")
+    if store is None:
+        from repro.harness.store import default_store_path
+
+        store = default_store_path()
+    if store is None:
+        raise AnalysisError(
+            f"no {what} given: pass --store DIR, --files PATH..., "
+            "or set REPRO_STORE"
+        )
+    resultset = ResultSet.from_store(store)
+    if not resultset:
+        raise AnalysisError(f"{what} store {store!r} holds no healthy entries")
+    return resultset
+
+
+def cmd_report(
+    store: str | None,
+    files: Sequence[str] | None,
+    baseline: str | None,
+    metrics_csv: str | None,
+    alpha: float,
+    out: str | None,
+    html_out: str | None,
+    against: str | None,
+    compare: str | None,
+    threshold: float,
+) -> int:
+    if against and compare and against != compare:
+        print(
+            "error: --against and --compare are aliases; pass one OLD store",
+            file=sys.stderr,
+        )
+        return 2
+    old_source = against or compare
+    metrics = (
+        [name.strip() for name in metrics_csv.split(",") if name.strip()]
+        if metrics_csv
+        else None
+    )
+    try:
+        resultset = _load_resultset(store, files, what="report")
+        analysis = analyze(
+            resultset, baseline=baseline, metrics=metrics, alpha=alpha
+        )
+        diff = None
+        if old_source:
+            old_set = _load_resultset(old_source, None, what="--against")
+            diff = diff_resultsets(
+                old_set,
+                resultset,
+                metrics=metrics,
+                alpha=alpha,
+                tolerance=threshold,
+            )
+    except (AnalysisError, KeyError, OSError, ValueError) as failure:
+        print(f"error: {_error_text(failure)}", file=sys.stderr)
+        return 2
+
+    print(resultset.describe())
+    print(
+        f"baseline={analysis.baseline}, alpha={alpha:g}, "
+        f"metrics={','.join(m.name for m in analysis.metrics)}"
+    )
+    if analysis.rankings:
+        rows = [
+            [position + 1, r.config, f"{r.geomean_speedup:.3f}x", r.benchmarks]
+            for position, r in enumerate(analysis.rankings)
+        ]
+        print(
+            format_table(
+                ["rank", "config", "geomean speedup", "benchmarks"],
+                rows,
+                title=f"design ranking vs {analysis.baseline}",
+            )
+        )
+    if analysis.comparisons:
+        rows = [
+            [
+                c.key.config,
+                c.key.benchmark,
+                c.metric,
+                f"{c.ratio:.3f}" if c.ratio is not None else "-",
+                f"{c.q_value:.3g}" if c.q_value is not None else "-",
+                c.verdict,
+            ]
+            for c in analysis.comparisons
+        ]
+        print(
+            format_table(
+                ["config", "benchmark", "metric", "ratio", "q (BH)", "verdict"],
+                rows,
+                title="significance vs baseline (Mann-Whitney U, BH-corrected)",
+            )
+        )
+
+    markdown_path = out
+    html_path = html_out
+    if markdown_path and not html_path:
+        html_path = str(Path(markdown_path).with_suffix(".html"))
+    if markdown_path:
+        Path(markdown_path).write_text(
+            render_markdown(analysis, diff=diff), encoding="utf-8"
+        )
+        print(f"\nwrote {markdown_path}")
+    if html_path:
+        Path(html_path).write_text(
+            render_html(analysis, diff=diff), encoding="utf-8"
+        )
+        print(f"wrote {html_path}")
+
+    if diff is None:
+        return 0
+    rows = [
+        [
+            str(cell.key),
+            cell.metric,
+            cell.old_median if cell.old_median is not None else "-",
+            cell.new_median if cell.new_median is not None else "-",
+            f"{cell.ratio:.3f}" if cell.ratio is not None else "-",
+            f"{cell.q_value:.3g}" if cell.q_value is not None else "-",
+            cell.verdict,
+            cell.note,
+        ]
+        for cell in diff.cells
+    ]
+    print(
+        format_table(
+            ["cell", "metric", "old", "new", "ratio", "q (BH)", "verdict", "note"],
+            rows,
+            title=f"snapshot diff vs {old_source}",
+        )
+    )
+    print(f"\n{diff.summary()}")
+    if not diff.passed:
+        failed = sorted(
+            {f"{cell.key} ({cell.metric})" for cell in diff.cells if cell.failed}
+        )
+        print("regressed/missing cells: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_profile(
     benchmark: str,
     config_name: str,
@@ -1359,6 +1585,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.out,
             args.compare,
             args.against,
+            args.threshold,
+        )
+    if args.command == "report":
+        return cmd_report(
+            args.store,
+            args.files,
+            args.baseline,
+            args.metrics,
+            args.alpha,
+            args.out,
+            args.html,
+            args.against,
+            args.compare,
             args.threshold,
         )
     if args.command == "profile":

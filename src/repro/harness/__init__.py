@@ -17,8 +17,6 @@ from repro.harness.runner import (
     clear_cache,
     default_runner,
     default_scale,
-    run_cached,
-    run_matrix,
     run_workload,
     speedups,
 )
@@ -46,8 +44,6 @@ __all__ = [
     "make_point",
     "matrix_points",
     "pool_context",
-    "run_cached",
-    "run_matrix",
     "run_point_supervised",
     "run_sweep",
     "run_workload",
@@ -58,3 +54,16 @@ __all__ = [
     "WatchdogTimeout",
     "run_supervised",
 ]
+
+
+def __getattr__(name: str):
+    # run_cached / run_matrix finished their deprecation cycle; point
+    # stragglers at the Runner replacement instead of a bare
+    # AttributeError.
+    if name in ("run_cached", "run_matrix"):
+        raise ImportError(
+            f"repro.harness.{name}() was removed after its deprecation "
+            f"cycle; use repro.harness.default_runner().{name}(...) "
+            f"(or a Runner instance) instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

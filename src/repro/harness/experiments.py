@@ -118,6 +118,36 @@ def _prefetch(
     return runner
 
 
+def sweep_resultset(
+    configs: Iterable[GPUConfig],
+    abbrs: Iterable[str],
+    *,
+    scale: float | None = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    jobs: int | None = None,
+):
+    """Seed-replicated sweep as a :class:`repro.analysis.ResultSet`.
+
+    The figures above aggregate single deterministic runs into tables;
+    statistical questions — confidence intervals, significance, design
+    ranking — belong to :mod:`repro.analysis.experiment`.  This is the
+    sanctioned bridge between the two layers: run the matrix once per
+    seed and hand back THE container the analysis layer consumes
+    (``analyze``, ``diff_resultsets``, ``repro report``).  Do not scrape
+    the :class:`~repro.harness.store.ResultStore` entry files directly;
+    ``ResultSet.from_store`` is the loading path for persisted sweeps.
+    """
+    from repro.harness.pool import make_point
+
+    points = [
+        make_point(config, abbr, scale=scale, seed=seed)
+        for config in configs
+        for abbr in abbrs
+        for seed in seeds
+    ]
+    return default_runner().resultset(points, jobs=jobs)
+
+
 # ----------------------------------------------------------------------
 # Configuration sets
 # ----------------------------------------------------------------------

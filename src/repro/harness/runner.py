@@ -7,9 +7,11 @@ cycles ratios over the same work.
 The one front door is :class:`Runner`: it owns the trace scale, the
 parallel worker count, the two-tier result cache (an in-memory LRU over
 the persistent on-disk :class:`~repro.harness.store.ResultStore`), and
-per-run observability.  The historical module-level helpers
-(:func:`run_workload`, :func:`run_cached`, :func:`run_matrix`) survive
-as deprecation shims that delegate to a process-wide default instance.
+per-run observability.  The last historical module-level helper
+(:func:`run_workload`) survives as a deprecation shim delegating to a
+process-wide default instance; the ``run_cached`` / ``run_matrix``
+shims completed their deprecation cycle and now raise ImportError
+naming the :class:`Runner` replacement.
 
 Environment knobs (all read by the default instance):
 
@@ -350,6 +352,27 @@ class Runner:
             results[(label, point.benchmark)] = by_point[point]
         return results
 
+    def resultset(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        jobs: int | None = None,
+        progress=None,
+    ):
+        """Sweep ``points`` and return the grouped
+        :class:`~repro.analysis.ResultSet` — the container the
+        experiment-analysis layer and ``repro report`` consume.
+        """
+        # Local import: keeps the harness importable without the
+        # analysis package loaded (and mirrors ResultSet.from_store's
+        # layering-safe lazy import in the opposite direction).
+        from repro.analysis.resultset import ResultSet
+
+        return ResultSet.from_results(
+            self.sweep(points, jobs=jobs, progress=progress),
+            source="runner.sweep",
+        )
+
     # ------------------------------------------------------------------
     # Cache tiers
     # ------------------------------------------------------------------
@@ -456,37 +479,22 @@ def run_workload(
     )
 
 
-def run_cached(
-    config: GPUConfig,
-    benchmark: str | WorkloadSpec,
-    *,
-    scale: float | None = None,
-    footprint_scale: float = 1.0,
-    seed: int | None = None,
-) -> SimulationResult:
-    """Deprecated shim for :meth:`Runner.run_cached` on the default instance."""
-    _deprecated("run_cached")
-    return default_runner().run_cached(
-        config,
-        benchmark,
-        scale=scale,
-        footprint_scale=footprint_scale,
-        seed=seed,
-    )
+#: Shims that completed their deprecation cycle -> the Runner method
+#: that replaced each.  Importing one now fails loudly with the
+#: migration target instead of silently warning.
+_RETIRED_SHIMS = {
+    "run_cached": "default_runner().run_cached(...) (or Runner.run_cached)",
+    "run_matrix": "default_runner().run_matrix(...) (or Runner.run_matrix)",
+}
 
 
-def run_matrix(
-    configs: Mapping[str, GPUConfig],
-    benchmarks: Iterable[str | WorkloadSpec],
-    *,
-    scale: float | None = None,
-    footprint_scale: float = 1.0,
-) -> dict[tuple[str, str], SimulationResult]:
-    """Deprecated shim for :meth:`Runner.run_matrix` on the default instance."""
-    _deprecated("run_matrix")
-    return default_runner().run_matrix(
-        configs, benchmarks, scale=scale, footprint_scale=footprint_scale
-    )
+def __getattr__(name: str):
+    if name in _RETIRED_SHIMS:
+        raise ImportError(
+            f"repro.harness.runner.{name}() was removed after its "
+            f"deprecation cycle; use {_RETIRED_SHIMS[name]} instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def cache_info() -> dict:

@@ -149,6 +149,59 @@ class ResultStore:
         return path
 
     # ------------------------------------------------------------------
+    # Bulk iteration / snapshots (the analysis layer's loading path)
+    # ------------------------------------------------------------------
+    def iter_entries(self):
+        """Yield ``(key_dict, result)`` for every healthy entry.
+
+        The bulk counterpart of :meth:`load`, and what
+        :meth:`repro.analysis.ResultSet.from_store` is built on.  The
+        same corruption policy applies — unparseable files, stale
+        schema stamps, and entries whose echoed key does not match
+        their digest are quarantined and skipped — but hit/miss
+        telemetry is untouched: walking the store for analysis is not
+        cache traffic.  Iteration order is deterministic (sorted by
+        digest).
+        """
+        if not self.path.is_dir():
+            return
+        for path in sorted(self.path.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload["schema"] != STORE_SCHEMA_VERSION:
+                    raise ValueError(f"stale schema {payload['schema']!r}")
+                key = payload["key"]
+                if self.digest(key) != path.stem:
+                    raise ValueError("key does not match entry digest")
+                result = SimulationResult.from_dict(payload["result"])
+            except OSError:
+                continue  # raced with an eviction; nothing to read
+            except (ValueError, KeyError, TypeError) as defect:
+                self._evict(path, reason=str(defect) or type(defect).__name__)
+                continue
+            yield key, result
+
+    def keys(self) -> list[dict]:
+        """Key dicts of every healthy entry (sorted by digest)."""
+        return [key for key, _ in self.iter_entries()]
+
+    def snapshot(self, destination: str | Path) -> "ResultStore":
+        """Copy every healthy entry into a fresh store at ``destination``.
+
+        Re-stores through the normal write path (schema stamp, temp
+        file + rename), so the snapshot is a first-class store: it can
+        be diffed with ``repro report --against``, archived as a
+        baseline, or carried to another host.  Corrupt entries are
+        quarantined in *this* store and excluded from the snapshot.
+        """
+        target = ResultStore(destination)
+        if target.path.resolve() == self.path.resolve():
+            raise ValueError("snapshot destination must differ from the store path")
+        for key, result in self.iter_entries():
+            target.store(key, result)
+        return target
+
+    # ------------------------------------------------------------------
     # Shared-tier coordination (claims + size budget)
     # ------------------------------------------------------------------
     def claim_path(self, key: Mapping) -> Path:

@@ -403,6 +403,12 @@ def compare_reports(
     Raises :class:`BenchError` when the reports were taken at different
     scales or seeds — those wall clocks are not comparable.
     """
+    # Local import: obs is a leaf layer (module-imports nothing
+    # internal); the shared verdict primitive lives in the analysis
+    # package so ``repro report --against`` and this guard agree on
+    # what a regression is.
+    from repro.analysis.stat_tests import relative_verdict
+
     for knob in ("scale", "seed", "footprint_scale"):
         old_value, new_value = old.meta.get(knob), new.meta.get(knob)
         if old_value is not None and new_value is not None and old_value != new_value:
@@ -427,19 +433,14 @@ def compare_reports(
             noise_factor * old_cell.rel_spread,
             noise_factor * new_cell.rel_spread,
         )
-        ratio = new_wall / old_wall if old_wall > 0 else float("inf")
         note = ""
         if old_cell.fingerprint != new_cell.fingerprint:
             note = "fingerprint drifted (different simulation!)"
+        verdict, ratio = relative_verdict(
+            old_wall, new_wall, tolerance=tolerance, floor=min_seconds
+        )
         if old_wall < min_seconds and new_wall < min_seconds:
-            verdict = "ok"
             note = note or "below timing floor"
-        elif ratio > 1.0 + tolerance:
-            verdict = "regression"
-        elif ratio < 1.0 / (1.0 + tolerance):
-            verdict = "improvement"
-        else:
-            verdict = "ok"
         verdicts.append(
             CellVerdict(
                 key[0],

@@ -7,14 +7,18 @@ from repro.harness import experiments
 from repro.harness.runner import (
     build_workload,
     clear_cache,
+    default_runner,
     default_scale,
-    run_cached,
-    run_matrix,
     run_workload,
     speedups,
 )
 
 TINY = 0.125
+
+
+def run_cached(config, benchmark, **kwargs):
+    """Local helper: the retired module shim, via the default runner."""
+    return default_runner().run_cached(config, benchmark, **kwargs)
 
 
 class TestRunner:
@@ -34,7 +38,7 @@ class TestRunner:
 
     def test_run_matrix_and_speedups(self):
         configs = {"base": baseline_config(), "soft": softwalker_config()}
-        results = run_matrix(configs, ["gups"], scale=TINY)
+        results = default_runner().run_matrix(configs, ["gups"], scale=TINY)
         assert set(results) == {("base", "gups"), ("soft", "gups")}
         ratio = speedups(results, baseline_label="base")
         assert ratio[("base", "gups")] == pytest.approx(1.0)
@@ -47,6 +51,17 @@ class TestRunner:
         assert a is b
         c = run_cached(baseline_config(), "gemm", scale=TINY, footprint_scale=2.0)
         assert c is not a
+
+    def test_sweep_resultset_groups_seed_replicates(self):
+        resultset = experiments.sweep_resultset(
+            [baseline_config()], ["gups"], scale=TINY, seeds=(1, 2)
+        )
+        from repro.analysis import METRICS
+
+        (cell,) = resultset.cells()
+        assert cell.key.config == "baseline"
+        assert cell.seeds() == [1, 2]
+        assert cell.median(METRICS["cycles"]) > 0
 
     def test_workload_respects_page_size(self):
         from repro.config import PAGE_SIZE_2M

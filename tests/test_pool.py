@@ -146,17 +146,24 @@ class TestRunnerFacade:
         with pytest.warns(DeprecationWarning, match="run_workload"):
             run_workload(baseline_config(), "gups", scale=TINY)
 
-    def test_run_cached_module_shim_warns_deprecation(self):
-        from repro.harness.runner import run_cached
+    def test_run_cached_module_shim_retired(self):
+        with pytest.raises(ImportError, match="Runner.run_cached"):
+            from repro.harness.runner import run_cached  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="run_cached"):
-            run_cached(baseline_config(), "gups", scale=TINY)
+    def test_run_matrix_module_shim_retired(self):
+        with pytest.raises(ImportError, match="Runner.run_matrix"):
+            from repro.harness.runner import run_matrix  # noqa: F401
 
-    def test_run_matrix_module_shim_warns_deprecation(self):
-        from repro.harness.runner import run_matrix
+    def test_package_reexports_retired(self):
+        import repro
+        import repro.harness
 
-        with pytest.warns(DeprecationWarning, match="run_matrix"):
-            run_matrix({"base": baseline_config()}, ["gups"], scale=TINY)
+        with pytest.raises(ImportError, match="run_matrix"):
+            repro.run_matrix
+        with pytest.raises(ImportError, match="run_cached"):
+            repro.harness.run_cached
+        with pytest.raises(ImportError, match="run_matrix"):
+            repro.harness.run_matrix
 
 
 class TestTraceExportUnderSweep:

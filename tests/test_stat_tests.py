@@ -1,0 +1,146 @@
+"""Statistical primitives: known distributions, graceful degradation."""
+
+import math
+
+import pytest
+
+from repro.analysis.stat_tests import (
+    DEFAULT_ALPHA,
+    VERDICT_IDENTICAL,
+    VERDICT_INSUFFICIENT,
+    VERDICT_NOT_SIGNIFICANT,
+    VERDICT_SIGNIFICANT,
+    _mann_whitney_pure,
+    benjamini_hochberg,
+    bootstrap_ci,
+    compare_replicates,
+    mann_whitney_u,
+    relative_verdict,
+    stable_seed,
+)
+
+
+class TestMannWhitney:
+    def test_fully_separated_3v3_matches_asymptotic_value(self):
+        # U=0, mu=4.5, sigma=sqrt(5.25): z~=1.964 -> p~=0.0495 two-sided.
+        outcome = mann_whitney_u([1, 2, 3], [4, 5, 6])
+        assert outcome.p_value == pytest.approx(0.0495, abs=0.0005)
+
+    def test_shifted_samples_are_significant(self):
+        a = [1.0, 1.1, 1.2, 1.3, 1.05, 1.15, 1.25, 1.08]
+        b = [v + 100 for v in a]
+        outcome = mann_whitney_u(a, b)
+        assert outcome.p_value < 0.01
+
+    def test_identical_constant_samples_are_degenerate(self):
+        outcome = mann_whitney_u([5.0, 5.0, 5.0], [5.0, 5.0, 5.0])
+        assert outcome.method == "degenerate"
+        assert outcome.p_value == 1.0
+
+    def test_overlapping_samples_are_not_significant(self):
+        outcome = mann_whitney_u([1, 3, 5, 7], [2, 4, 6, 8])
+        assert outcome.p_value > 0.3
+
+    def test_pure_python_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        cases = [
+            ([1, 2, 3], [4, 5, 6]),
+            ([1, 3, 5, 7], [2, 4, 6, 8]),
+            ([1, 1, 2, 3], [2, 2, 3, 4]),  # ties across samples
+        ]
+        for a, b in cases:
+            _u, p = scipy_stats.mannwhitneyu(
+                a, b, alternative="two-sided",
+                use_continuity=False, method="asymptotic",
+            )
+            pure = _mann_whitney_pure(a, b)
+            assert pure.p_value == pytest.approx(float(p), rel=1e-9)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_tie_heavy_samples_stay_in_unit_interval(self):
+        outcome = mann_whitney_u([1, 1, 1, 2], [1, 1, 2, 2])
+        assert 0.0 <= outcome.p_value <= 1.0
+
+
+class TestCompareReplicates:
+    def test_single_replicate_is_insufficient_never_a_crash(self):
+        comparison = compare_replicates([1.0], [2.0])
+        assert comparison.p_value is None
+        assert not comparison.sufficient
+        assert comparison.verdict() == VERDICT_INSUFFICIENT
+
+    def test_identical_samples_not_significant(self):
+        comparison = compare_replicates([3.0, 3.0, 3.0], [3.0, 3.0, 3.0])
+        assert comparison.degenerate
+        assert comparison.verdict() == VERDICT_IDENTICAL
+
+    def test_shifted_samples_significant(self):
+        a = [1.0, 1.1, 1.2, 1.05, 1.15, 1.22, 1.17, 1.03]
+        comparison = compare_replicates(a, [v * 50 for v in a])
+        assert comparison.verdict(alpha=DEFAULT_ALPHA) == VERDICT_SIGNIFICANT
+
+    def test_noise_without_shift_not_significant(self):
+        comparison = compare_replicates([1, 3, 5, 7], [2, 4, 6, 8])
+        assert comparison.verdict() == VERDICT_NOT_SIGNIFICANT
+
+
+class TestBenjaminiHochberg:
+    def test_textbook_adjustment(self):
+        q = benjamini_hochberg([0.01, 0.02, 0.03, 0.04, 0.2])
+        assert q == pytest.approx([0.05, 0.05, 0.05, 0.05, 0.2])
+
+    def test_order_preserved(self):
+        q = benjamini_hochberg([0.2, 0.01])
+        assert q[1] < q[0]
+
+    def test_monotone_and_bounded(self):
+        ps = [0.001, 0.5, 0.04, 0.9, 0.02]
+        q = benjamini_hochberg(ps)
+        assert all(0.0 <= v <= 1.0 for v in q)
+        assert all(qv >= pv for qv, pv in zip(q, ps))
+
+    def test_empty_family(self):
+        assert benjamini_hochberg([]) == []
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_the_median(self):
+        values = [10.0, 11.0, 12.0, 13.0, 14.0]
+        low, high = bootstrap_ci(values, seed=42)
+        assert low <= 12.0 <= high
+
+    def test_deterministic_for_fixed_seed(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_single_value_degenerates(self):
+        assert bootstrap_ci([5.0]) == (5.0, 5.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_stable_seed_is_stable(self):
+        assert stable_seed("a", "b") == stable_seed("a", "b")
+        assert stable_seed("a", "b") != stable_seed("a", "c")
+
+
+class TestRelativeVerdict:
+    def test_regression_and_improvement_thresholds(self):
+        assert relative_verdict(1.0, 1.5, tolerance=0.4)[0] == "regression"
+        assert relative_verdict(1.0, 1.39, tolerance=0.4)[0] == "ok"
+        assert relative_verdict(1.5, 1.0, tolerance=0.4)[0] == "improvement"
+        assert relative_verdict(1.3, 1.0, tolerance=0.4)[0] == "ok"
+
+    def test_floor_suppresses_tiny_values(self):
+        verdict, _ = relative_verdict(0.001, 0.004, tolerance=0.4, floor=0.005)
+        assert verdict == "ok"
+        verdict, _ = relative_verdict(0.001, 0.006, tolerance=0.4, floor=0.005)
+        assert verdict == "regression"
+
+    def test_zero_old_is_infinite_ratio(self):
+        verdict, ratio = relative_verdict(0.0, 1.0, tolerance=0.4)
+        assert verdict == "regression" and math.isinf(ratio)

@@ -257,3 +257,86 @@ class TestTwoTierIntegration:
         store = runner.store
         assert store is not None and store.path == tmp_path / "store"
         assert runner.store is store  # stable while the env is unchanged
+
+
+class TestBulkIteration:
+    """iter_entries / keys / snapshot — the analysis loading path."""
+
+    def _fill(self, store, point, result, seeds=(1, 2, 3)):
+        keys = []
+        for seed in seeds:
+            key = dict(point.store_key(), seed=seed)
+            store.store(key, result)
+            keys.append(key)
+        return keys
+
+    def test_iter_entries_yields_every_healthy_entry(self, tmp_path, point, result):
+        store = ResultStore(tmp_path / "store")
+        keys = self._fill(store, point, result)
+        entries = list(store.iter_entries())
+        assert len(entries) == 3
+        seen = {canonical_key(key) for key, _ in entries}
+        assert seen == {canonical_key(key) for key in keys}
+        for _key, loaded in entries:
+            assert loaded.fingerprint() == result.fingerprint()
+
+    def test_iter_entries_is_sorted_and_counts_no_cache_traffic(
+        self, tmp_path, point, result
+    ):
+        store = ResultStore(tmp_path / "store")
+        self._fill(store, point, result)
+        digests = [store.digest(key) for key, _ in store.iter_entries()]
+        assert digests == sorted(digests)
+        assert store.hits == 0 and store.misses == 0
+
+    def test_iter_entries_quarantines_defects_and_continues(
+        self, tmp_path, point, result
+    ):
+        store = ResultStore(tmp_path / "store")
+        self._fill(store, point, result)
+        paths = sorted((tmp_path / "store").glob("*.json"))
+        paths[0].write_text("not json")  # unparseable
+        stale = json.loads(paths[1].read_text())
+        stale["schema"] = STORE_SCHEMA_VERSION + 1  # wrong schema stamp
+        paths[1].write_text(json.dumps(stale))
+        assert len(list(store.iter_entries())) == 1
+        assert store.quarantined == 2
+        assert paths[0].with_suffix(".corrupt").exists()
+        assert not paths[1].exists()
+
+    def test_iter_entries_rejects_digest_key_mismatch(
+        self, tmp_path, point, result
+    ):
+        store = ResultStore(tmp_path / "store")
+        (key,) = self._fill(store, point, result, seeds=(1,))
+        entry = store.entry_path(key)
+        tampered = json.loads(entry.read_text())
+        tampered["key"]["seed"] = 99  # no longer matches the digest
+        entry.write_text(json.dumps(tampered))
+        assert list(store.iter_entries()) == []
+        assert store.quarantined == 1
+
+    def test_iter_entries_on_missing_directory(self, tmp_path):
+        assert list(ResultStore(tmp_path / "void").iter_entries()) == []
+
+    def test_keys_lists_healthy_key_dicts(self, tmp_path, point, result):
+        store = ResultStore(tmp_path / "store")
+        keys = self._fill(store, point, result, seeds=(5,))
+        assert store.keys() == keys
+
+    def test_snapshot_copies_healthy_entries_only(self, tmp_path, point, result):
+        store = ResultStore(tmp_path / "store")
+        self._fill(store, point, result)
+        victim = sorted((tmp_path / "store").glob("*.json"))[0]
+        victim.write_text("garbage")
+        snap = store.snapshot(tmp_path / "snap")
+        assert len(snap) == 2
+        # The snapshot is a first-class store: entries load normally.
+        for key, loaded in snap.iter_entries():
+            assert loaded.fingerprint() == result.fingerprint()
+
+    def test_snapshot_refuses_same_path(self, tmp_path, point, result):
+        store = ResultStore(tmp_path / "store")
+        self._fill(store, point, result, seeds=(1,))
+        with pytest.raises(ValueError, match="must differ"):
+            store.snapshot(tmp_path / "store")

@@ -54,7 +54,15 @@ ALLOWED: dict[str, set[str]] = {
     "service": {"config", "gpu", "harness", "obs"},
     "cli": {"analysis", "config", "gpu", "harness", "obs", "service", "workloads"},
     # Package façade / entry point sit above everything.
-    "__init__": {"config", "gpu", "harness", "obs", "resilience", "workloads"},
+    "__init__": {
+        "analysis",
+        "config",
+        "gpu",
+        "harness",
+        "obs",
+        "resilience",
+        "workloads",
+    },
     "__main__": {"cli"},
 }
 

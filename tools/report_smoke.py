@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Report smoke check (the CI gate for statistical experiment analysis).
+
+Enforces three invariants of the ``repro report`` pipeline:
+
+1. A real mini-sweep (2 configs x 2 benchmarks x 3 seeds, tiny scale)
+   loads into a :class:`ResultSet` and renders a markdown + HTML report
+   carrying medians, bootstrap confidence intervals, a geomean design
+   ranking, and BH-corrected significance verdicts.
+2. A molasses-hijacked re-run of the same sweep — every walk backend
+   wrapped with a host-time sleep, simulated time untouched — is
+   flagged by :func:`diff_resultsets` as a *significant* wall-time
+   regression while every cell's result fingerprints stay identical:
+   the statistical gate catches host slowdowns and only host slowdowns.
+3. The CLI contract holds: ``repro report --against`` exits 0 on an
+   identical snapshot and exits 1 on the hijacked store, naming the
+   regressed cells on stderr.
+
+Usage:
+    python tools/report_smoke.py [--scale S] [--keep DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO = Path(__file__).resolve().parent.parent
+
+from repro.analysis import ResultSet, diff_resultsets  # noqa: E402
+from repro.analysis.resultset import METRICS  # noqa: E402
+
+CONFIGS = ("baseline", "softwalker")
+BENCHMARKS = ("gups", "spmv")
+SEEDS = (1, 2, 3)
+
+#: Mann-Whitney over 3 seeds floors the asymptotic p at ~0.0495, so the
+#: gate must run above that once BH corrects across the 4-cell family.
+ALPHA = 0.1
+
+_SWEEP_SNIPPET = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.arch.registry import load_plugins
+load_plugins(reload=True)  # hijack mode never triggers a lazy load
+from repro.config import DEFAULT_CONFIGS
+from repro.harness.pool import make_point
+from repro.harness.runner import Runner
+points = [
+    make_point(DEFAULT_CONFIGS.get(config), benchmark, scale={scale!r}, seed=seed)
+    for config in {configs!r}
+    for benchmark in {benchmarks!r}
+    for seed in {seeds!r}
+]
+Runner(store={store!r}).sweep(points)
+"""
+
+
+def run_sweep_into(store: Path, *, scale: float, hijack: bool) -> None:
+    """Run the mini-sweep in a subprocess, optionally molasses-hijacked.
+
+    A subprocess even for the plain sweep keeps both sides symmetric
+    (same interpreter startup, same code path) and keeps the hijack
+    plugin's registry mutations out of this process.
+    """
+    env = dict(os.environ)
+    env.pop("REPRO_PLUGINS", None)
+    env.pop("REPRO_MOLASSES_HIJACK", None)
+    if hijack:
+        env["REPRO_PLUGINS"] = str(REPO / "examples" / "plugins" / "slow_backend.py")
+        env["REPRO_MOLASSES_HIJACK"] = "1"
+        env.setdefault("REPRO_MOLASSES_DELAY", "0.0005")
+    snippet = _SWEEP_SNIPPET.format(
+        src=str(REPO / "src"),
+        scale=scale,
+        configs=list(CONFIGS),
+        benchmarks=list(BENCHMARKS),
+        seeds=list(SEEDS),
+        store=str(store),
+    )
+    subprocess.run([sys.executable, "-c", snippet], env=env, check=True)
+
+
+def check_report_artifacts(store: Path, workdir: Path) -> None:
+    """Invariant 1: the report CLI emits a full markdown + HTML report."""
+    from repro.cli import main
+
+    markdown_path = workdir / "report.md"
+    code = main(["report", "--store", str(store), "--out", str(markdown_path)])
+    if code != 0:
+        raise SystemExit(f"FAIL: repro report exited {code} on a healthy store")
+    html_path = markdown_path.with_suffix(".html")
+    if not html_path.exists():
+        raise SystemExit("FAIL: --out did not bring its .html twin along")
+    markdown = markdown_path.read_text(encoding="utf-8")
+    for needle, meaning in (
+        ("## Design ranking", "geomean design ranking section"),
+        ("geomean speedup vs baseline", "ranking header"),
+        (f"(n={len(SEEDS)})", "replicate counts"),
+        ("[", "bootstrap confidence intervals"),
+        ("significant", "BH significance verdicts"),
+        ("Benjamini-Hochberg", "methodology line"),
+    ):
+        if needle not in markdown:
+            raise SystemExit(f"FAIL: markdown report lacks {meaning} ({needle!r})")
+    html = html_path.read_text(encoding="utf-8")
+    if not html.startswith("<!DOCTYPE html>") or "softwalker" not in html:
+        raise SystemExit("FAIL: HTML report is not a standalone page")
+    resultset = ResultSet.from_store(store)
+    expected = len(CONFIGS) * len(BENCHMARKS)
+    if len(resultset) != expected or resultset.total_results() != expected * len(SEEDS):
+        raise SystemExit(f"FAIL: store loaded as {resultset.describe()}")
+    print(f"ok: report artifacts complete ({resultset.describe()})")
+
+
+def check_hijack_regression(plain_store: Path, hijacked_store: Path) -> None:
+    """Invariant 2: significant wall regression, identical fingerprints."""
+    old = ResultSet.from_store(plain_store)
+    new = ResultSet.from_store(hijacked_store)
+    for cell in old.cells():
+        twin = new.cell(cell.key)
+        if twin is None or twin.fingerprints() != cell.fingerprints():
+            raise SystemExit(
+                f"FAIL: {cell.key} fingerprints drifted under hijack — the "
+                "molasses wrapper must only burn host time"
+            )
+    report = diff_resultsets(old, new, metrics=["wall_seconds"], alpha=ALPHA)
+    if report.fingerprint_drift:
+        raise SystemExit(
+            f"FAIL: diff saw fingerprint drift: {report.fingerprint_drift}"
+        )
+    if len(report.regressions) != len(old.cells()):
+        raise SystemExit(
+            f"FAIL: expected every cell to regress on wall time, got "
+            f"{report.summary()}"
+        )
+    wall = METRICS["wall_seconds"]
+    ratios = [
+        statistics.median(new.cell(cell.key).values(wall))
+        / statistics.median(cell.values(wall))
+        for cell in old.cells()
+    ]
+    print(
+        f"ok: hijacked sweep flagged ({report.summary()}; median slowdown "
+        f"{statistics.median(ratios):.1f}x, fingerprints identical)"
+    )
+
+
+def check_cli_gate(plain_store: Path, hijacked_store: Path) -> None:
+    """Invariant 3: --against exit codes and regressed-cell naming."""
+    base = [
+        sys.executable,
+        "-m",
+        "repro",
+        "report",
+        "--metrics",
+        "wall_seconds",
+        "--alpha",
+        str(ALPHA),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    clean = subprocess.run(
+        base + ["--store", str(plain_store), "--against", str(plain_store)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if clean.returncode != 0:
+        raise SystemExit(
+            f"FAIL: identical-snapshot --against exited {clean.returncode}\n"
+            f"{clean.stderr}"
+        )
+    gated = subprocess.run(
+        base + ["--store", str(hijacked_store), "--against", str(plain_store)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if gated.returncode != 1:
+        raise SystemExit(
+            f"FAIL: hijacked --against exited {gated.returncode}, wanted 1\n"
+            f"{gated.stdout}\n{gated.stderr}"
+        )
+    named = [f"{config}/{benchmark}" for config in CONFIGS for benchmark in BENCHMARKS]
+    missing = [cell for cell in named if cell not in gated.stderr]
+    if missing:
+        raise SystemExit(
+            f"FAIL: regressed cells not named on stderr: {missing}\n{gated.stderr}"
+        )
+    print("ok: --against gate exits 0 clean / 1 regressed, naming every cell")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument(
+        "--keep", metavar="DIR", help="build stores under DIR and keep them"
+    )
+    args = parser.parse_args()
+
+    if args.keep:
+        workdir = Path(args.keep)
+        workdir.mkdir(parents=True, exist_ok=True)
+        context = None
+    else:
+        context = tempfile.TemporaryDirectory(prefix="report_smoke_")
+        workdir = Path(context.name)
+    try:
+        plain = workdir / "store_plain"
+        hijacked = workdir / "store_hijacked"
+        run_sweep_into(plain, scale=args.scale, hijack=False)
+        run_sweep_into(hijacked, scale=args.scale, hijack=True)
+        check_report_artifacts(plain, workdir)
+        check_hijack_regression(plain, hijacked)
+        check_cli_gate(plain, hijacked)
+    finally:
+        if context is not None:
+            context.cleanup()
+    print("report smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
