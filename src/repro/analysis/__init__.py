@@ -17,6 +17,7 @@ from repro.analysis.area import (
     PW_WARP_CONTEXT_BITS,
     PTWAreaModel,
     cam_area,
+    config_relative_area,
     hardware_overhead_summary,
     softwalker_relative_area,
     softwalker_storage_bits,
@@ -79,6 +80,7 @@ __all__ = [
     "PW_WARP_CONTEXT_BITS",
     "PTWAreaModel",
     "cam_area",
+    "config_relative_area",
     "hardware_overhead_summary",
     "softwalker_relative_area",
     "softwalker_storage_bits",

@@ -105,6 +105,24 @@ def softwalker_relative_area(config: GPUConfig, model: PTWAreaModel | None = Non
     return sram_bits_area(bits) / model.subsystem_area(model.base_walkers, 1)
 
 
+def config_relative_area(config: GPUConfig, model: PTWAreaModel | None = None) -> float:
+    """Total walk-subsystem area of one config on the Figure 15 scale.
+
+    The cost axis of the ``repro explore`` Pareto front: the hardware
+    walker subsystem (walkers + PWB + L2 TLB MSHR CAMs, super-linear in
+    ports) when walkers are present, plus SoftWalker's SRAM storage
+    when it is enabled.  Normalized so the paper's 32-walker one-port
+    baseline scores 1.0.
+    """
+    model = model or PTWAreaModel()
+    area = 0.0
+    if config.ptw.num_walkers > 0:
+        area += model.relative_area(config.ptw.num_walkers, config.ptw.pwb_ports)
+    if config.softwalker.enabled:
+        area += softwalker_relative_area(config, model)
+    return area
+
+
 def hardware_overhead_summary(config: GPUConfig) -> dict[str, float]:
     """The Section 5.2 table: storage plus synthesized control logic."""
     bits = softwalker_storage_bits(config)

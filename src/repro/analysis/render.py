@@ -146,13 +146,21 @@ def _diff_rows(report: RegressionReport) -> tuple[list[str], list[list]]:
 
 
 def _intro_lines(analysis: ExperimentAnalysis) -> list[str]:
-    return [
+    lines = [
         analysis.resultset.describe(),
         f"Baseline: `{analysis.baseline}`. "
         f"Metrics: {', '.join(m.name for m in analysis.metrics)}. "
         f"Significance: two-sided Mann-Whitney U across seed replicates, "
         f"Benjamini-Hochberg corrected, alpha={analysis.alpha:g}.",
     ]
+    incomplete = analysis.resultset.total_incomplete()
+    if incomplete:
+        lines.append(
+            f"Note: {incomplete} truncated/partial result(s) are excluded "
+            "from every statistic above (they did not simulate the full "
+            "workload)."
+        )
+    return lines
 
 
 # ----------------------------------------------------------------------

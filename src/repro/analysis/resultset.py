@@ -224,16 +224,35 @@ class ResultCell:
     def results(self) -> list[SimulationResult]:
         return [self.replicates[seed] for seed in self.seeds()]
 
+    def complete_results(self) -> list[SimulationResult]:
+        """Replicates that ran to completion (``result.complete``).
+
+        A truncated run (an event-budget degrade, an explore rung) did
+        not simulate the same work as a full run, so its numbers are
+        not observations of the same distribution.  Every statistics
+        path reads through here; partial results stay visible via
+        :attr:`incomplete_n` but can never pollute medians, tests, or
+        fingerprint comparisons silently.
+        """
+        return [result for result in self.results() if result.complete]
+
+    @property
+    def incomplete_n(self) -> int:
+        """How many replicates are truncated/partial runs."""
+        return sum(1 for result in self.results() if not result.complete)
+
     def values(self, metric: Metric) -> list[float]:
-        return metric.values(self.results())
+        return metric.values(self.complete_results())
 
     def median(self, metric: Metric) -> float | None:
         values = self.values(metric)
         return statistics.median(values) if values else None
 
     def fingerprints(self) -> tuple[str, ...]:
-        """Sorted unique result digests across replicates."""
-        return tuple(sorted({result_digest(r) for r in self.results()}))
+        """Sorted unique result digests across complete replicates."""
+        return tuple(
+            sorted({result_digest(r) for r in self.complete_results()})
+        )
 
     def add(self, result: SimulationResult, *, seed=None) -> None:
         key = seed if seed is not None else result.seed
@@ -348,6 +367,11 @@ class ResultSet:
             cell.config = config_dict
         return cell
 
+    #: The canonical SweepPoint store-key fields; anything beyond them
+    #: (e.g. the explore driver's ``max_events`` budget) changes what
+    #: was simulated, so it becomes part of the cell identity below.
+    _POINT_KEY_FIELDS = ("config", "benchmark", "scale", "footprint_scale", "seed")
+
     def _ingest_store_key(
         self,
         key: Mapping,
@@ -360,6 +384,13 @@ class ResultSet:
             if isinstance(config_dict, Mapping)
             else str(config_dict or "unknown")
         )
+        extras = {
+            name: key[name]
+            for name in sorted(set(key) - set(self._POINT_KEY_FIELDS))
+        }
+        if extras:
+            qualifier = ",".join(f"{k}={v}" for k, v in extras.items())
+            label = f"{label}[{qualifier}]"
         cell_key = CellKey(
             config=label,
             benchmark=key.get("benchmark", result.workload),
@@ -416,11 +447,21 @@ class ResultSet:
     def total_results(self) -> int:
         return sum(cell.n for cell in self._cells.values())
 
+    def total_incomplete(self) -> int:
+        """Truncated/partial replicates across all cells."""
+        return sum(cell.incomplete_n for cell in self._cells.values())
+
     def describe(self) -> str:
         """One-line inventory ("4 cells, 2 configs x 2 benchmarks...")."""
+        incomplete = self.total_incomplete()
         return (
             f"{len(self)} cells, {len(self.configs())} configs x "
             f"{len(self.benchmarks())} benchmarks, "
             f"{self.total_results()} results"
+            + (
+                f" ({incomplete} incomplete, excluded from statistics)"
+                if incomplete
+                else ""
+            )
             + (f" from {self.source}" if self.source else "")
         )

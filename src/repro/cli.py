@@ -7,7 +7,12 @@ Commands:
 * ``run`` — simulate one benchmark under one configuration.
 * ``compare`` — baseline vs a set of techniques on one benchmark.
 * ``figure`` — regenerate one of the paper's figures/tables by name.
-* ``sweep`` — run a config x benchmark matrix, optionally in parallel.
+* ``sweep`` — run a config x benchmark matrix, optionally in parallel
+  (``--sample N`` runs a seeded random subset of the matrix).
+* ``explore`` — successive-halving design-space exploration over a
+  serialized SearchSpace: cheap truncated/reduced-scale rungs first,
+  full fidelity for finalists, Pareto front of cycles vs the area
+  model, crash-safe resume from a state file.
 * ``trace`` — record a run's request lifecycle as Chrome trace JSON.
 * ``metrics`` — sample time-series gauges during a run, export JSON.
 * ``chaos`` — run under a seeded fault plan with invariant auditing.
@@ -157,7 +162,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated benchmark abbreviations (default: all)",
     )
     sweep_parser.add_argument("--scale", type=float, default=None)
-    sweep_parser.add_argument("--seed", type=int, default=None)
+    sweep_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed (also seeds --sample selection)",
+    )
+    sweep_parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run only a seeded random subset of N matrix points "
+            "(deterministic in --seed; same sampler as `repro explore`)"
+        ),
+    )
     sweep_parser.add_argument(
         "--jobs",
         type=int,
@@ -168,6 +188,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         metavar="DIR",
         help="persistent result store directory (default: REPRO_STORE)",
+    )
+
+    explore_parser = sub.add_parser(
+        "explore",
+        help=(
+            "successive-halving design-space exploration over a "
+            "SearchSpace, emitting a Pareto front vs the area model"
+        ),
+    )
+    explore_parser.add_argument(
+        "--space",
+        required=True,
+        metavar="@FILE",
+        help="search-space JSON (see docs/explore.md for the format)",
+    )
+    explore_parser.add_argument(
+        "--benchmarks",
+        default="dc",
+        help="comma-separated benchmark abbreviations (default: dc)",
+    )
+    explore_parser.add_argument(
+        "--seeds",
+        default="0",
+        help="comma-separated workload seed replicates (default: 0)",
+    )
+    explore_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="full-fidelity trace scale; rungs run fractions of it",
+    )
+    explore_parser.add_argument(
+        "--rungs",
+        default="0.25:0.34,0.5:0.5,1",
+        help=(
+            "halving ladder as scale[:keep[:max_events]],... — the last "
+            "rung must be full fidelity (scale 1)"
+        ),
+    )
+    explore_parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="search only a seeded subset of N candidates",
+    )
+    explore_parser.add_argument(
+        "--search-seed",
+        type=int,
+        default=0,
+        help="seed for --sample subset selection",
+    )
+    explore_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="near-tie promotion tolerance (relative, e.g. 0.02)",
+    )
+    explore_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: REPRO_JOBS or 1)",
+    )
+    explore_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persistent result store directory (default: REPRO_STORE)",
+    )
+    explore_parser.add_argument(
+        "--out",
+        default="explore.json",
+        help="artifact JSON output path (default: explore.json)",
+    )
+    explore_parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the markdown report here (an .html twin rides along)",
+    )
+    explore_parser.add_argument(
+        "--html", metavar="PATH", help="write the HTML report here"
+    )
+    explore_parser.add_argument(
+        "--state",
+        metavar="PATH",
+        help="explore-state file for crash-safe resume (default: OUT.state.json)",
+    )
+    explore_parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore any existing state file and restart the search",
     )
 
     trace_parser = sub.add_parser(
@@ -649,6 +760,7 @@ def cmd_sweep(
     seed: int | None,
     jobs: int | None,
     store: str | None,
+    sample: int | None = None,
 ) -> int:
     configs: dict[str, GPUConfig] = {}
     for token in config_names:
@@ -672,6 +784,18 @@ def cmd_sweep(
     points = matrix_points(
         configs.values(), benchmark_names, scale=scale, seed=seed
     )
+    selected = list(range(len(points)))
+    if sample is not None:
+        from repro.explore import seeded_sample
+
+        try:
+            selected = seeded_sample(
+                selected, sample, seed if seed is not None else 0,
+                salt="sweep.sample",
+            )
+        except ValueError as failure:
+            print(f"error: {failure}", file=sys.stderr)
+            return 2
     # First label wins for points shared between equal configurations.
     names: dict[SweepPoint, str] = {}
     for index, point in enumerate(points):
@@ -680,30 +804,35 @@ def cmd_sweep(
     def progress(point: SweepPoint, status: str, done: int, total: int) -> None:
         print(f"[{done}/{total}] {names[point]}/{point.label()} — {status}")
 
-    by_point = runner.sweep(points, progress=progress)
+    by_point = runner.sweep([points[i] for i in selected], progress=progress)
 
     rows = []
-    for index, point in enumerate(points):
+    for index in selected:
+        point = points[index]
         label = config_names[index % len(config_names)]
         result = by_point[point]
-        base = by_point[points[(index // len(config_names)) * len(config_names)]]
+        # The baseline cell may not be in a sampled subset.
+        base = by_point.get(points[(index // len(config_names)) * len(config_names)])
         rows.append(
             [
                 label,
                 point.benchmark,
                 result.cycles,
-                f"{result.speedup_over(base):.2f}x",
+                f"{result.speedup_over(base):.2f}x" if base is not None else "-",
                 fingerprint_digest(result)[:12],
             ]
         )
+    title = (
+        f"sweep: {len(config_names)} configs x "
+        f"{len(benchmark_names)} benchmarks, jobs={runner.jobs}"
+    )
+    if sample is not None:
+        title += f" (sampled {len(selected)}/{len(points)} points)"
     print(
         format_table(
             ["configuration", "benchmark", "cycles", "speedup", "fingerprint"],
             rows,
-            title=(
-                f"sweep: {len(config_names)} configs x "
-                f"{len(benchmark_names)} benchmarks, jobs={runner.jobs}"
-            ),
+            title=title,
         )
     )
     info = runner.cache_info()
@@ -723,6 +852,137 @@ def cmd_sweep(
             + ")"
         )
     print(line)
+    return 0
+
+
+def cmd_explore(
+    space_path: str,
+    benchmarks_csv: str,
+    seeds_csv: str,
+    scale: float,
+    rungs_text: str,
+    sample: int | None,
+    search_seed: int,
+    tolerance: float,
+    jobs: int | None,
+    store: str | None,
+    out: str,
+    report: str | None,
+    html_out: str | None,
+    state: str | None,
+    fresh: bool,
+) -> int:
+    from repro.explore import (
+        ExploreError,
+        ExploreOptions,
+        artifact_json,
+        explore_html,
+        explore_markdown,
+        load_space,
+        parse_rungs,
+        run_explore,
+    )
+
+    benchmarks = [b.strip() for b in benchmarks_csv.split(",") if b.strip()]
+    unknown = [name for name in benchmarks if name not in ALL_ABBRS]
+    if unknown:
+        print(
+            f"error: unknown benchmark(s) {', '.join(unknown)} — "
+            "see `repro list`",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        seeds = tuple(
+            None if token.lower() == "none" else int(token)
+            for token in (t.strip() for t in seeds_csv.split(","))
+            if token
+        )
+        space = load_space(space_path)
+        options = ExploreOptions(
+            benchmarks=tuple(benchmarks),
+            seeds=seeds,
+            scale=scale,
+            rungs=parse_rungs(rungs_text),
+            sample=sample,
+            search_seed=search_seed,
+            tolerance=tolerance,
+        )
+    except (ExploreError, KeyError, OSError, ValueError) as failure:
+        print(f"error: {_error_text(failure)}", file=sys.stderr)
+        return 2
+
+    runner = Runner(store=store) if store else default_runner()
+    if jobs is not None:
+        runner.jobs = jobs
+    state_path = state if state is not None else f"{out}.state.json"
+
+    def progress(point: SweepPoint, status: str, done: int, total: int) -> None:
+        print(f"  [{done}/{total}] {point.label()} — {status}")
+
+    try:
+        artifact = run_explore(
+            space,
+            options,
+            runner=runner,
+            jobs=jobs,
+            state_path=state_path,
+            fresh=fresh,
+            log=print,
+            progress=progress,
+        )
+    except (ExploreError, KeyError, ValueError) as failure:
+        print(f"error: {_error_text(failure)}", file=sys.stderr)
+        return 2
+
+    Path(out).write_text(artifact_json(artifact), encoding="utf-8")
+
+    knee = artifact.get("knee") or {}
+    knee_id = knee.get("candidate")
+    rows = [
+        [
+            point["candidate"],
+            ", ".join(
+                f"{path}={value}"
+                for path, value in sorted(point["assignment"].items())
+            )
+            or "(base)",
+            f"{point['performance']:.6g}",
+            f"{point['cost']:.4g}",
+            "knee" if point["candidate"] == knee_id else "",
+        ]
+        for point in artifact["pareto_front"]
+    ]
+    print(
+        format_table(
+            ["candidate", "assignment", "performance", "relative area", ""],
+            rows,
+            title=(
+                f"Pareto front: {len(artifact['candidates'])} candidates "
+                f"searched over {len(artifact['rungs'])} rungs"
+            ),
+        )
+    )
+    budget = artifact["budget"]
+    print(
+        f"\nsimulated {budget['spent_cycles']} cycles "
+        f"(exhaustive grid estimate {budget['exhaustive_estimate_cycles']:.6g}, "
+        f"{budget['savings_fraction']:.0%} saved)"
+    )
+    print(f"wrote {out}")
+
+    markdown_path = report
+    html_path = html_out
+    if markdown_path and not html_path:
+        html_path = str(Path(markdown_path).with_suffix(".html"))
+    if markdown_path:
+        Path(markdown_path).write_text(
+            explore_markdown(artifact), encoding="utf-8"
+        )
+        print(f"wrote {markdown_path}")
+    if html_path:
+        Path(html_path).write_text(explore_html(artifact), encoding="utf-8")
+        print(f"wrote {html_path}")
     return 0
 
 
@@ -1554,6 +1814,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.seed,
             args.jobs,
             args.store,
+            args.sample,
+        )
+    if args.command == "explore":
+        return cmd_explore(
+            args.space,
+            args.benchmarks,
+            args.seeds,
+            args.scale,
+            args.rungs,
+            args.sample,
+            args.search_seed,
+            args.tolerance,
+            args.jobs,
+            args.store,
+            args.out,
+            args.report,
+            args.html,
+            args.state,
+            args.fresh,
         )
     if args.command == "trace":
         return cmd_trace(args.benchmark, args.config, args.scale, args.out, args.jsonl)

@@ -1,0 +1,77 @@
+"""Design-space exploration over the pluggable machine (``repro explore``).
+
+The package that finally *searches* the configuration space PR 5 made
+serializable: :mod:`~repro.explore.space` declares a
+:class:`SearchSpace` over ``GPUConfig`` knobs, :mod:`~repro.explore.search`
+drives it with successive halving (cheap truncated/reduced-scale rungs
+first, full fidelity only for finalists) on top of the harness sweep
+engine, and :mod:`~repro.explore.pareto` extracts the Pareto front of
+performance against the :mod:`repro.analysis.area` cost model.
+
+Everything is deterministic by construction: enumeration order is the
+lexicographic cross product, sampling is ``stable_seed``-seeded, rung
+ledgers are computed from the simulation results themselves (never from
+wall clocks), and the emitted artifact is byte-identical for a fixed
+seed at any ``--jobs N`` — including after a mid-search kill + resume.
+"""
+
+from repro.explore.pareto import (
+    ParetoPoint,
+    config_relative_area,
+    knee_point,
+    pareto_front,
+)
+from repro.explore.render import explore_html, explore_markdown
+from repro.explore.search import (
+    ARTIFACT_VERSION,
+    DEFAULT_RUNGS,
+    ExploreError,
+    ExploreOptions,
+    Rung,
+    artifact_json,
+    parse_rungs,
+    run_explore,
+    select_survivors,
+)
+from repro.explore.space import (
+    Candidate,
+    CategoricalDim,
+    IntRangeDim,
+    Pow2Dim,
+    SearchSpace,
+    apply_assignment,
+    dimension_from_dict,
+    load_space,
+    seeded_sample,
+)
+
+__all__ = [
+    # space
+    "Candidate",
+    "CategoricalDim",
+    "IntRangeDim",
+    "Pow2Dim",
+    "SearchSpace",
+    "apply_assignment",
+    "dimension_from_dict",
+    "load_space",
+    "seeded_sample",
+    # search
+    "ARTIFACT_VERSION",
+    "DEFAULT_RUNGS",
+    "ExploreError",
+    "ExploreOptions",
+    "Rung",
+    "artifact_json",
+    "parse_rungs",
+    "run_explore",
+    "select_survivors",
+    # render
+    "explore_html",
+    "explore_markdown",
+    # pareto
+    "ParetoPoint",
+    "config_relative_area",
+    "knee_point",
+    "pareto_front",
+]

@@ -1,0 +1,91 @@
+"""Pareto-front extraction: performance against the area cost model.
+
+The end product of an exploration is not one winner but a *front*: the
+set of candidates no other candidate beats on both axes at once —
+simulated performance (lower cycles is better) and hardware cost (the
+:func:`repro.analysis.area.config_relative_area` scale, lower is
+better).  :func:`knee_point` then names the front's best balance: the
+point closest to the utopia corner after min–max normalization, the
+standard knee heuristic for two-objective fronts.
+
+Everything here is pure arithmetic over already-computed numbers, so
+it is deterministic by construction; ties break on candidate id.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.area import config_relative_area
+
+__all__ = ["ParetoPoint", "config_relative_area", "pareto_front", "knee_point"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate's position in (performance, cost) space."""
+
+    #: Candidate id ("c0003") — the join key back into the artifact.
+    candidate: str
+    #: Performance score; lower is better (geomean of median cycles).
+    performance: float
+    #: Relative hardware area; lower is better.
+    cost: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """No worse on both axes and strictly better on at least one."""
+        return (
+            self.performance <= other.performance
+            and self.cost <= other.cost
+            and (self.performance < other.performance or self.cost < other.cost)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "candidate": self.candidate,
+            "performance": self.performance,
+            "cost": self.cost,
+        }
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by (cost, performance, id).
+
+    Duplicate (performance, cost) coordinates all survive — two
+    configs that measure identically are both legitimate answers.
+    """
+    front = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(front, key=lambda p: (p.cost, p.performance, p.candidate))
+
+
+def knee_point(front: Sequence[ParetoPoint]) -> ParetoPoint | None:
+    """The front point nearest the utopia corner, min–max normalized.
+
+    Both axes are rescaled to [0, 1] over the front (a degenerate axis
+    — all points equal — contributes zero), so the knee is invariant
+    to the very different magnitudes of cycles and relative area.
+    Returns None for an empty front; ties break deterministically.
+    """
+    if not front:
+        return None
+    perf_lo = min(p.performance for p in front)
+    perf_hi = max(p.performance for p in front)
+    cost_lo = min(p.cost for p in front)
+    cost_hi = max(p.cost for p in front)
+
+    def normalized(value: float, lo: float, hi: float) -> float:
+        return (value - lo) / (hi - lo) if hi > lo else 0.0
+
+    def distance(point: ParetoPoint) -> float:
+        return math.hypot(
+            normalized(point.performance, perf_lo, perf_hi),
+            normalized(point.cost, cost_lo, cost_hi),
+        )
+
+    return min(front, key=lambda p: (distance(p), p.performance, p.cost, p.candidate))

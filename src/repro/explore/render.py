@@ -1,0 +1,153 @@
+"""Human-readable reports over an explore artifact.
+
+Takes the versioned JSON artifact :func:`repro.explore.search.run_explore`
+returns and renders the story a reader actually wants: what space was
+searched, how the halving ladder narrowed it, what the Pareto front
+looks like, and how much simulation the search saved over an exhaustive
+grid.  Tables come from :mod:`repro.analysis.render` so explore reports
+match the ``repro report`` house style.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import html_table, markdown_table
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1a1a2e; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #cbd5e1; padding: 0.35rem 0.7rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead th { background: #f1f5f9; }
+em.note { color: #555; }
+""".strip()
+
+
+def _fmt(value: float | None, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def _intro_lines(artifact: dict) -> list[str]:
+    space = artifact["space"]
+    options = artifact["options"]
+    dims = ", ".join(dim["path"] for dim in space["dimensions"])
+    searched = len(artifact["candidates"])
+    base = (
+        f"base `{space['base']}`"
+        if isinstance(space["base"], str)
+        else "inline base config"
+    )
+    lines = [
+        f"Search space: {searched} candidate(s) over {dims} ({base}), "
+        f"metric `{options['metric']}` on "
+        f"{', '.join(options['benchmarks'])} at scale "
+        f"{_fmt(options['scale'])}, "
+        f"{len(options['seeds'])} seed replicate(s)."
+    ]
+    if artifact["skipped"]:
+        lines.append(
+            f"{len(artifact['skipped'])} combination(s) skipped as invalid "
+            "cross-field configs."
+        )
+    return lines
+
+
+def _rung_rows(artifact: dict) -> tuple[list[str], list[list[str]]]:
+    headers = [
+        "rung",
+        "scale",
+        "max_events",
+        "candidates",
+        "runs",
+        "simulated cycles",
+        "survivors",
+    ]
+    rows = []
+    for entry in artifact["rungs"]:
+        rows.append(
+            [
+                str(entry["rung"] + 1),
+                _fmt(entry["scale"]),
+                "-" if entry["max_events"] is None else str(entry["max_events"]),
+                str(entry["candidates"]),
+                str(entry["runs"]),
+                str(entry["simulated_cycles"]),
+                str(len(entry["survivors"])),
+            ]
+        )
+    return headers, rows
+
+
+def _front_rows(artifact: dict) -> tuple[list[str], list[list[str]]]:
+    knee = artifact.get("knee") or {}
+    knee_id = knee.get("candidate")
+    headers = ["candidate", "assignment", "performance", "relative area", ""]
+    rows = []
+    for point in artifact["pareto_front"]:
+        assignment = ", ".join(
+            f"{path}={value}" for path, value in sorted(point["assignment"].items())
+        )
+        rows.append(
+            [
+                point["candidate"],
+                assignment or "(base)",
+                _fmt(point["performance"], 6),
+                _fmt(point["cost"], 4),
+                "knee" if point["candidate"] == knee_id else "",
+            ]
+        )
+    return headers, rows
+
+
+def _budget_line(artifact: dict) -> str:
+    budget = artifact["budget"]
+    return (
+        f"Simulated {budget['spent_cycles']} cycles total vs an estimated "
+        f"{_fmt(budget['exhaustive_estimate_cycles'], 6)} for an exhaustive "
+        f"full-fidelity grid — {budget['savings_fraction']:.0%} saved."
+    )
+
+
+def explore_markdown(artifact: dict) -> str:
+    """The full explore report as GitHub-flavoured markdown."""
+    lines: list[str] = ["# Design-space exploration", ""]
+    lines.extend(_intro_lines(artifact))
+    lines.append("")
+    lines.append("## Halving ledger")
+    lines.append("")
+    lines.append(markdown_table(*_rung_rows(artifact)))
+    lines.append("")
+    lines.append("## Pareto front (performance vs relative area)")
+    lines.append("")
+    lines.append(markdown_table(*_front_rows(artifact)))
+    lines.append("")
+    lines.append(_budget_line(artifact))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def explore_html(artifact: dict) -> str:
+    """Same report as a self-contained HTML page."""
+    intro = "".join(f"<p>{line}</p>\n" for line in _intro_lines(artifact))
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>Design-space exploration</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        "<h1>Design-space exploration</h1>",
+        intro,
+        "<h2>Halving ledger</h2>",
+        html_table(*_rung_rows(artifact)),
+        "<h2>Pareto front (performance vs relative area)</h2>",
+        html_table(*_front_rows(artifact)),
+        f"<p><em class='note'>{_budget_line(artifact)}</em></p>",
+        "</body></html>",
+    ]
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,401 @@
+"""SearchSpace DSL: serializable dimensions over ``GPUConfig`` knobs.
+
+A :class:`SearchSpace` is a base configuration (a registry name or an
+inline config dict) plus a list of *dimensions*, each binding a dotted
+path into :meth:`GPUConfig.to_dict` — ``"ptw.num_walkers"``,
+``"softwalker.enabled"``, ``"page_table.page_size"``, ``"walk_backend"``
+— to a set of values:
+
+* :class:`CategoricalDim` — an explicit value list.  A ``None`` choice
+  *deletes* the key, matching ``to_dict``'s treatment of defaults
+  (``walk_backend: None`` is absent from the fingerprint).
+* :class:`IntRangeDim` — ``low..high`` inclusive with a ``step``.
+* :class:`Pow2Dim` — every power of two from ``low`` to ``high``.
+
+Typos fail fast: every dimension is validated by applying its values to
+the base config through :meth:`GPUConfig.from_dict`, whose unknown-key
+rejection carries a did-you-mean hint.  Combinations that violate a
+*cross-field* constraint (e.g. a SoftPWB smaller than the PW warp) are
+not errors of the space — they are skipped deterministically by
+:meth:`SearchSpace.materialize` and reported to the caller.
+
+Enumeration is the lexicographic cross product (first dimension
+slowest), so candidate indices are stable across processes; sampling is
+seeded through :func:`repro.analysis.stat_tests.stable_seed` and
+returns candidates in enumeration order, which is what makes an
+explore artifact byte-reproducible at any ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import copy
+import difflib
+import itertools
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence, TypeVar
+
+from repro.analysis.stat_tests import stable_seed
+from repro.config import DEFAULT_CONFIGS, GPUConfig
+
+_T = TypeVar("_T")
+
+#: Serialization format version stamped into every space dict.
+SPACE_VERSION = 1
+
+
+def _reject_unknown_keys(
+    what: str, data: Mapping, known: Sequence[str]
+) -> None:
+    """Shared strict-key check with a did-you-mean hint."""
+    unknown = sorted(set(data) - set(known))
+    if not unknown:
+        return
+    hints = []
+    for name in unknown:
+        close = difflib.get_close_matches(name, known, n=1)
+        hints.append(
+            f"{name!r}" + (f" (did you mean {close[0]!r}?)" if close else "")
+        )
+    raise ValueError(f"unknown {what} key(s): {', '.join(hints)}")
+
+
+# ----------------------------------------------------------------------
+# Dimensions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CategoricalDim:
+    """An explicit choice list; ``None`` deletes the key from the dict."""
+
+    path: str
+    values: tuple
+
+    kind = "categorical"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"dimension {self.path!r} needs at least one value")
+        if len(set(map(repr, self.values))) != len(self.values):
+            raise ValueError(f"dimension {self.path!r} has duplicate values")
+
+    def choices(self) -> tuple:
+        return self.values
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "path": self.path, "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class IntRangeDim:
+    """Every integer from ``low`` to ``high`` inclusive, stepping ``step``."""
+
+    path: str
+    low: int
+    high: int
+    step: int = 1
+
+    kind = "int_range"
+
+    def __post_init__(self) -> None:
+        if self.step < 1:
+            raise ValueError(f"dimension {self.path!r}: step must be >= 1")
+        if self.high < self.low:
+            raise ValueError(f"dimension {self.path!r}: high < low")
+
+    def choices(self) -> tuple:
+        return tuple(range(self.low, self.high + 1, self.step))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "low": self.low,
+            "high": self.high,
+            "step": self.step,
+        }
+
+
+@dataclass(frozen=True)
+class Pow2Dim:
+    """Every power of two from ``low`` to ``high`` inclusive."""
+
+    path: str
+    low: int
+    high: int
+
+    kind = "pow2"
+
+    def __post_init__(self) -> None:
+        for bound in (self.low, self.high):
+            if bound < 1 or bound & (bound - 1):
+                raise ValueError(
+                    f"dimension {self.path!r}: bounds must be powers of two, "
+                    f"got {bound}"
+                )
+        if self.high < self.low:
+            raise ValueError(f"dimension {self.path!r}: high < low")
+
+    def choices(self) -> tuple:
+        out = []
+        value = self.low
+        while value <= self.high:
+            out.append(value)
+            value *= 2
+        return tuple(out)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "path": self.path, "low": self.low, "high": self.high}
+
+
+#: kind tag -> (class, required+optional serialized keys).
+_DIMENSION_KINDS: dict[str, tuple[type, tuple[str, ...]]] = {
+    "categorical": (CategoricalDim, ("kind", "path", "values")),
+    "int_range": (IntRangeDim, ("kind", "path", "low", "high", "step")),
+    "pow2": (Pow2Dim, ("kind", "path", "low", "high")),
+}
+
+
+def dimension_from_dict(data: Mapping) -> CategoricalDim | IntRangeDim | Pow2Dim:
+    """Rebuild one dimension from its serialized form (strict keys)."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"dimension must be a mapping, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind not in _DIMENSION_KINDS:
+        known = sorted(_DIMENSION_KINDS)
+        message = f"unknown dimension kind {kind!r}; known kinds: {', '.join(known)}"
+        close = difflib.get_close_matches(str(kind), known, n=1)
+        if close:
+            message += f" — did you mean {close[0]!r}?"
+        raise ValueError(message)
+    cls, keys = _DIMENSION_KINDS[kind]
+    _reject_unknown_keys(f"{kind} dimension", data, keys)
+    if "path" not in data:
+        raise ValueError(f"{kind} dimension needs a 'path'")
+    kwargs = {key: data[key] for key in keys if key in data and key != "kind"}
+    return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Assignment application
+# ----------------------------------------------------------------------
+def apply_assignment(base: Mapping, assignment: Mapping[str, Any]) -> dict:
+    """Overlay dotted-path values onto a config dict; ``None`` deletes.
+
+    The deletion rule mirrors :meth:`GPUConfig.to_dict`, which omits
+    ``walk_backend`` when it is None — so a categorical dimension over
+    ``[None, "oracle"]`` toggles cleanly between the default backend
+    and a plugin one without perturbing any other fingerprint bit.
+    """
+    out = copy.deepcopy(dict(base))
+    for path, value in assignment.items():
+        node = out
+        parts = path.split(".")
+        for part in parts[:-1]:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                child = {}
+                node[part] = child
+            node = child
+        if value is None:
+            node.pop(parts[-1], None)
+        else:
+            node[parts[-1]] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# Candidates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Candidate:
+    """One enumerated point of a space: a built config plus its identity."""
+
+    #: Position in the full lexicographic enumeration (stable id basis).
+    index: int
+    #: (path, value) pairs in dimension order.
+    assignment: tuple[tuple[str, Any], ...]
+    config: GPUConfig
+
+    @property
+    def cid(self) -> str:
+        return f"c{self.index:04d}"
+
+    def assignment_dict(self) -> dict:
+        return dict(self.assignment)
+
+    def label(self) -> str:
+        return ",".join(
+            f"{path}={'default' if value is None else value}"
+            for path, value in self.assignment
+        )
+
+
+# ----------------------------------------------------------------------
+# SearchSpace
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SearchSpace:
+    """A base configuration crossed with a tuple of dimensions."""
+
+    #: Registry name ("baseline") or an inline ``GPUConfig.to_dict`` subset.
+    base: Any
+    dimensions: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dimensions", tuple(self.dimensions))
+        if not self.dimensions:
+            raise ValueError("a search space needs at least one dimension")
+        paths = [dim.path for dim in self.dimensions]
+        duplicates = sorted({p for p in paths if paths.count(p) > 1})
+        if duplicates:
+            raise ValueError(f"duplicate dimension path(s): {', '.join(duplicates)}")
+        self._validate_dimensions()
+
+    # -- validation -----------------------------------------------------
+    def base_config(self) -> GPUConfig:
+        if isinstance(self.base, str):
+            return DEFAULT_CONFIGS.get(self.base)
+        if isinstance(self.base, Mapping):
+            return GPUConfig.from_dict(self.base)
+        raise ValueError(
+            f"space base must be a registry name or a config dict, "
+            f"got {type(self.base).__name__}"
+        )
+
+    def _validate_dimensions(self) -> None:
+        """Every dimension must build at least one valid config alone.
+
+        Applying a single dimension's value to the base config routes
+        through :meth:`GPUConfig.from_dict`, so a typoed path fails
+        here with the config layer's did-you-mean error.  A value that
+        only fails in *combination* with other dimensions is not an
+        error of the space — :meth:`materialize` skips it.
+        """
+        base = self.base_config().to_dict()
+        for dim in self.dimensions:
+            last_error: Exception | None = None
+            for value in dim.choices():
+                try:
+                    GPUConfig.from_dict(apply_assignment(base, {dim.path: value}))
+                    break
+                except (TypeError, ValueError, KeyError) as failure:
+                    last_error = failure
+            else:
+                raise ValueError(
+                    f"dimension {dim.path!r} has no valid value against the "
+                    f"base config: {last_error}"
+                ) from last_error
+
+    # -- enumeration ----------------------------------------------------
+    def size(self) -> int:
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim.choices())
+        return total
+
+    def assignments(self) -> Iterator[tuple[tuple[str, Any], ...]]:
+        """Lexicographic cross product; first dimension varies slowest."""
+        paths = [dim.path for dim in self.dimensions]
+        for combo in itertools.product(*(dim.choices() for dim in self.dimensions)):
+            yield tuple(zip(paths, combo))
+
+    def materialize(self) -> tuple[list[Candidate], list[dict]]:
+        """Build every candidate config; returns (valid, skipped).
+
+        Skipped entries are combinations that violate a cross-field
+        config constraint; each carries its assignment and the error so
+        the explore artifact can prove nothing vanished silently.
+        """
+        base = self.base_config().to_dict()
+        valid: list[Candidate] = []
+        skipped: list[dict] = []
+        for index, assignment in enumerate(self.assignments()):
+            try:
+                config = GPUConfig.from_dict(
+                    apply_assignment(base, dict(assignment))
+                )
+            except (TypeError, ValueError, KeyError) as failure:
+                skipped.append(
+                    {
+                        "index": index,
+                        "assignment": dict(assignment),
+                        "error": str(failure),
+                    }
+                )
+                continue
+            valid.append(Candidate(index=index, assignment=assignment, config=config))
+        if not valid:
+            raise ValueError(
+                "search space has no valid candidate: every combination "
+                "violates a config constraint"
+            )
+        return valid, skipped
+
+    # -- sampling -------------------------------------------------------
+    def sample(self, n: int, seed: int) -> list[Candidate]:
+        """A seeded subset of the valid candidates, in enumeration order."""
+        valid, _skipped = self.materialize()
+        return seeded_sample(valid, n, seed, salt="explore.space")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": SPACE_VERSION,
+            "base": self.base if isinstance(self.base, str) else dict(self.base),
+            "dimensions": [dim.to_dict() for dim in self.dimensions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SearchSpace":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"search space must be a mapping, got {type(data).__name__}"
+            )
+        _reject_unknown_keys("search space", data, ("version", "base", "dimensions"))
+        version = data.get("version", SPACE_VERSION)
+        if version != SPACE_VERSION:
+            raise ValueError(
+                f"unsupported search-space version {version!r} "
+                f"(this build reads version {SPACE_VERSION})"
+            )
+        if "base" not in data or "dimensions" not in data:
+            raise ValueError("search space needs 'base' and 'dimensions'")
+        dimensions = data["dimensions"]
+        if not isinstance(dimensions, Sequence) or isinstance(dimensions, (str, bytes)):
+            raise ValueError("'dimensions' must be a list of dimension dicts")
+        return cls(
+            base=data["base"],
+            dimensions=tuple(dimension_from_dict(d) for d in dimensions),
+        )
+
+
+def load_space(path: str | Path) -> SearchSpace:
+    """Load a space from a JSON file; a leading ``@`` is tolerated."""
+    text = str(path)
+    if text.startswith("@"):
+        text = text[1:]
+    with open(text, encoding="utf-8") as handle:
+        return SearchSpace.from_dict(json.load(handle))
+
+
+def seeded_sample(
+    items: Sequence[_T], n: int, seed: int, *, salt: str = "sample"
+) -> list[_T]:
+    """Deterministic sample without replacement, original order kept.
+
+    Seeded through :func:`stable_seed` (crc32, not interpreter-salted
+    ``hash``), so the same (items, n, seed) triple picks the same
+    subset on every host — the property ``repro sweep --sample`` and
+    the explore driver both lean on.  ``n >= len(items)`` returns
+    everything.
+    """
+    if n < 1:
+        raise ValueError(f"sample size must be >= 1, got {n}")
+    if n >= len(items):
+        return list(items)
+    rng = random.Random(stable_seed(salt, seed))
+    chosen = sorted(rng.sample(range(len(items)), n))
+    return [items[i] for i in chosen]

@@ -88,8 +88,25 @@ class SweepPoint:
     def to_dict(self) -> dict:
         return self.store_key()
 
+    #: The serialized field set; ``from_dict`` rejects anything else.
+    FIELDS = ("config", "benchmark", "scale", "footprint_scale", "seed")
+
     @classmethod
     def from_dict(cls, data: dict) -> "SweepPoint":
+        unknown = sorted(set(data) - set(cls.FIELDS))
+        if unknown:
+            import difflib
+
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, cls.FIELDS, n=1)
+                hints.append(
+                    f"{name!r}"
+                    + (f" (did you mean {close[0]!r}?)" if close else "")
+                )
+            raise ValueError(
+                f"unknown SweepPoint field(s): {', '.join(hints)}"
+            )
         return cls(
             config=GPUConfig.from_dict(data["config"]),
             benchmark=str(data["benchmark"]),
@@ -233,6 +250,7 @@ def run_sweep(
     lookup: Callable[[SweepPoint], SimulationResult | None] | None = None,
     publish: Callable[[SweepPoint, SimulationResult], None] | None = None,
     progress: ProgressFn | None = None,
+    execute: Callable[[SweepPoint], dict] | None = None,
 ) -> dict[SweepPoint, SimulationResult]:
     """Execute a sweep matrix; returns {point: result} for every point.
 
@@ -243,11 +261,19 @@ def run_sweep(
     the returned mapping (and of ``publish`` calls) follows first-seen
     point order either way, so serial and parallel sweeps are
     indistinguishable to the caller.
+
+    ``execute`` swaps the worker body: it takes a point and returns a
+    ``SimulationResult.to_dict`` payload.  The explore driver uses this
+    to run truncated-budget rungs through the supervised runner; the
+    callable must be picklable (a module-level function or a
+    ``functools.partial`` of one) so the process pool can ship it.
     """
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if execute is None:
+        execute = _execute_point
 
     ordered = dedupe_points(points)
     total = len(ordered)
@@ -275,13 +301,13 @@ def run_sweep(
 
     if len(pending) <= 1 or jobs == 1:
         for point in pending:
-            finish(point, SimulationResult.from_dict(_execute_point(point)))
+            finish(point, SimulationResult.from_dict(execute(point)))
     else:
         workers = min(jobs, len(pending))
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=pool_context()
         ) as pool:
-            futures = [(p, pool.submit(_execute_point, p)) for p in pending]
+            futures = [(p, pool.submit(execute, p)) for p in pending]
             for point, future in futures:
                 finish(point, SimulationResult.from_dict(future.result()))
 

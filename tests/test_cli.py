@@ -300,3 +300,142 @@ class TestServiceParsers:
     def test_jobs_against_dead_socket_fails_cleanly(self, tmp_path, capsys):
         assert main(["jobs", "--socket", str(tmp_path / "none.sock")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestSweepSample:
+    def test_parser_accepts_sample(self):
+        args = build_parser().parse_args(["sweep", "--sample", "3", "--seed", "7"])
+        assert args.sample == 3 and args.seed == 7
+
+    def test_sampled_sweep_runs_subset(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--configs", "baseline,softwalker",
+                    "--benchmarks", "gups,bfs",
+                    "--scale", "0.03",
+                    "--sample", "2",
+                    "--seed", "1",
+                    "--store", str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sampled 2/4 points" in out
+
+    def test_sample_is_seed_deterministic(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--configs", "baseline,softwalker",
+            "--benchmarks", "gups,bfs",
+            "--scale", "0.03",
+            "--sample", "2",
+            "--seed", "1",
+            "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+
+        def rows(text):
+            return [
+                line for line in text.splitlines()
+                if "|" in line and ("baseline" in line or "softwalker" in line)
+            ]
+
+        assert rows(first) == rows(second)
+
+    def test_oversample_rejected(self, capsys):
+        assert main(["sweep", "--sample", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExploreCommand:
+    def space_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "space.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "base": "baseline",
+                    "dimensions": [
+                        {
+                            "kind": "categorical",
+                            "path": "ptw.num_walkers",
+                            "values": [8, 32],
+                        }
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explore", "--space", "s.json"])
+        assert args.rungs == "0.25:0.34,0.5:0.5,1"
+        assert args.out == "explore.json"
+        assert not args.fresh
+
+    def test_explore_end_to_end_with_reports(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "explore.json"
+        assert (
+            main(
+                [
+                    "explore",
+                    "--space", self.space_file(tmp_path),
+                    "--benchmarks", "gups",
+                    "--scale", "0.03",
+                    "--rungs", "0.5:0.5:4000,1",
+                    "--store", str(tmp_path / "store"),
+                    "--out", str(out),
+                    "--report", str(tmp_path / "explore.md"),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "Pareto front" in printed
+        artifact = json.loads(out.read_text(encoding="utf-8"))
+        assert artifact["version"] == 1
+        assert (tmp_path / "explore.md").exists()
+        assert (tmp_path / "explore.html").exists()
+        assert (tmp_path / "explore.json.state.json").exists()
+
+    def test_unknown_benchmark_rejected(self, tmp_path, capsys):
+        assert (
+            main(
+                ["explore", "--space", self.space_file(tmp_path),
+                 "--benchmarks", "nope"]
+            )
+            == 2
+        )
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bad_space_file_rejected(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"version": 1, "base": "baseline", "dimensionss": []}),
+            encoding="utf-8",
+        )
+        assert main(["explore", "--space", str(path)]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_bad_rungs_rejected(self, tmp_path, capsys):
+        assert (
+            main(
+                ["explore", "--space", self.space_file(tmp_path),
+                 "--rungs", "0.5:0.5"]
+            )
+            == 2
+        )
+        assert "final rung" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Tests for Pareto extraction and the config area axis (repro.explore.pareto)."""
+
+import pytest
+
+from repro.config import baseline_config, softwalker_config
+from repro.explore import ParetoPoint, config_relative_area, knee_point, pareto_front
+
+
+def P(cid, perf, cost):
+    return ParetoPoint(candidate=cid, performance=perf, cost=cost)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert P("a", 1.0, 1.0).dominates(P("b", 2.0, 2.0))
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        assert not P("a", 1.0, 1.0).dominates(P("b", 1.0, 1.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not P("a", 1.0, 2.0).dominates(P("b", 2.0, 1.0))
+
+
+class TestParetoFront:
+    def test_dominated_points_drop(self):
+        points = [P("a", 1.0, 3.0), P("b", 2.0, 1.0), P("c", 3.0, 3.0)]
+        front = pareto_front(points)
+        assert [p.candidate for p in front] == ["b", "a"]  # sorted by cost
+
+    def test_duplicates_both_survive(self):
+        points = [P("a", 1.0, 1.0), P("b", 1.0, 1.0), P("c", 5.0, 5.0)]
+        assert [p.candidate for p in pareto_front(points)] == ["a", "b"]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestKneePoint:
+    def test_empty_front_is_none(self):
+        assert knee_point([]) is None
+
+    def test_single_point_is_its_own_knee(self):
+        assert knee_point([P("a", 3.0, 7.0)]).candidate == "a"
+
+    def test_balanced_point_wins(self):
+        # Extremes sit at normalized distance 1; the middle point is closer.
+        front = [P("fast", 0.0, 10.0), P("mid", 1.0, 1.0), P("cheap", 10.0, 0.0)]
+        assert knee_point(pareto_front(front)).candidate == "mid"
+
+    def test_degenerate_axis_contributes_zero(self):
+        # Same cost everywhere: knee is simply the best performance.
+        front = [P("a", 5.0, 1.0), P("b", 2.0, 1.0)]
+        assert knee_point(front).candidate == "b"
+
+    def test_tie_breaks_deterministically(self):
+        front = [P("b", 1.0, 1.0), P("a", 1.0, 1.0)]
+        assert knee_point(front).candidate == "a"
+
+
+class TestConfigRelativeArea:
+    def test_baseline_scores_one(self):
+        assert config_relative_area(baseline_config()) == pytest.approx(1.0)
+
+    def test_more_walkers_cost_more(self):
+        base = baseline_config()
+        scaled = base.with_ptw(num_walkers=128)
+        assert config_relative_area(scaled) > config_relative_area(base)
+
+    def test_ports_scale_superlinearly(self):
+        base = baseline_config()
+        two = config_relative_area(base.with_ptw(pwb_ports=2))
+        four = config_relative_area(base.with_ptw(pwb_ports=4))
+        assert four / two > 2.0
+
+    def test_softwalker_adds_small_sram_cost(self):
+        enabled = softwalker_config()
+        disabled = enabled.with_softwalker(enabled=False)
+        delta = config_relative_area(enabled) - config_relative_area(disabled)
+        assert delta > 0
+        # Plain SRAM bits: cheaper than the 32-walker CAM baseline (1.0),
+        # let alone any scaled-up hardware-walker configuration.
+        assert delta < 1.0
+
+    def test_zero_walker_config_without_softwalker_is_free(self):
+        stripped = baseline_config().with_ptw(num_walkers=0)
+        assert config_relative_area(stripped) == 0.0

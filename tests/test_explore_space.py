@@ -1,0 +1,205 @@
+"""Tests for the SearchSpace DSL (repro.explore.space)."""
+
+import json
+
+import pytest
+
+from repro.config import GPUConfig, baseline_config
+from repro.explore import (
+    Candidate,
+    CategoricalDim,
+    IntRangeDim,
+    Pow2Dim,
+    SearchSpace,
+    apply_assignment,
+    dimension_from_dict,
+    load_space,
+    seeded_sample,
+)
+
+
+class TestDimensions:
+    def test_categorical_choices_and_roundtrip(self):
+        dim = CategoricalDim(path="walk_backend", values=(None, "oracle"))
+        assert dim.choices() == (None, "oracle")
+        assert dimension_from_dict(dim.to_dict()) == dim
+
+    def test_categorical_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            CategoricalDim(path="walk_backend", values=())
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalDim(path="walk_backend", values=("a", "a"))
+
+    def test_int_range_choices_and_roundtrip(self):
+        dim = IntRangeDim(path="ptw.pwb_ports", low=1, high=7, step=3)
+        assert dim.choices() == (1, 4, 7)
+        assert dimension_from_dict(dim.to_dict()) == dim
+
+    def test_int_range_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="step"):
+            IntRangeDim(path="x", low=1, high=4, step=0)
+        with pytest.raises(ValueError, match="high < low"):
+            IntRangeDim(path="x", low=4, high=1)
+
+    def test_pow2_choices_and_roundtrip(self):
+        dim = Pow2Dim(path="ptw.num_walkers", low=8, high=64)
+        assert dim.choices() == (8, 16, 32, 64)
+        assert dimension_from_dict(dim.to_dict()) == dim
+
+    def test_pow2_rejects_non_power_bounds(self):
+        with pytest.raises(ValueError, match="powers of two"):
+            Pow2Dim(path="ptw.num_walkers", low=3, high=8)
+        with pytest.raises(ValueError, match="powers of two"):
+            Pow2Dim(path="ptw.num_walkers", low=4, high=24)
+
+    def test_unknown_kind_has_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean 'pow2'"):
+            dimension_from_dict({"kind": "pow", "path": "x", "low": 1, "high": 2})
+
+    def test_unknown_dimension_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown.*valuess.*did you mean"):
+            dimension_from_dict(
+                {"kind": "categorical", "path": "x", "valuess": [1]}
+            )
+
+
+class TestApplyAssignment:
+    def test_overlays_dotted_paths(self):
+        base = baseline_config().to_dict()
+        out = apply_assignment(base, {"ptw.num_walkers": 8})
+        assert out["ptw"]["num_walkers"] == 8
+        assert base["ptw"]["num_walkers"] != 8  # base untouched
+
+    def test_none_deletes_key_matching_to_dict(self):
+        base = {"walk_backend": "oracle", "ptw": {"num_walkers": 32}}
+        out = apply_assignment(base, {"walk_backend": None})
+        assert "walk_backend" not in out
+        # Round-trips through the config layer as the default backend.
+        assert GPUConfig.from_dict(out).walk_backend is None
+
+
+class TestSearchSpace:
+    def space(self):
+        return SearchSpace(
+            base="baseline",
+            dimensions=(
+                Pow2Dim(path="ptw.num_walkers", low=16, high=32),
+                CategoricalDim(path="ptw.pwb_ports", values=(1, 2)),
+            ),
+        )
+
+    def test_size_and_lexicographic_enumeration(self):
+        space = self.space()
+        assert space.size() == 4
+        assignments = list(space.assignments())
+        # First dimension varies slowest.
+        assert [dict(a)["ptw.num_walkers"] for a in assignments] == [16, 16, 32, 32]
+        assert [dict(a)["ptw.pwb_ports"] for a in assignments] == [1, 2, 1, 2]
+
+    def test_materialize_builds_configs_with_stable_ids(self):
+        candidates, skipped = self.space().materialize()
+        assert skipped == []
+        assert [c.cid for c in candidates] == ["c0000", "c0001", "c0002", "c0003"]
+        assert candidates[3].config.ptw.num_walkers == 32
+        assert candidates[3].config.ptw.pwb_ports == 2
+
+    def test_typo_path_fails_fast_with_did_you_mean(self):
+        with pytest.raises(ValueError, match="no valid value"):
+            SearchSpace(
+                base="baseline",
+                dimensions=(Pow2Dim(path="ptw.num_wlakers", low=16, high=32),),
+            )
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(ValueError, match="duplicate dimension path"):
+            SearchSpace(
+                base="baseline",
+                dimensions=(
+                    Pow2Dim(path="ptw.num_walkers", low=16, high=32),
+                    IntRangeDim(path="ptw.num_walkers", low=1, high=2),
+                ),
+            )
+
+    def test_needs_at_least_one_dimension(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            SearchSpace(base="baseline", dimensions=())
+
+    def test_unknown_base_name_raises(self):
+        with pytest.raises(KeyError):
+            SearchSpace(
+                base="baselin",
+                dimensions=(Pow2Dim(path="ptw.num_walkers", low=16, high=32),),
+            )
+
+    def test_roundtrip_and_strict_keys(self):
+        space = self.space()
+        rebuilt = SearchSpace.from_dict(space.to_dict())
+        assert rebuilt.to_dict() == space.to_dict()
+        with pytest.raises(ValueError, match="unknown search space key"):
+            SearchSpace.from_dict({**space.to_dict(), "dimensionss": []})
+        with pytest.raises(ValueError, match="version"):
+            SearchSpace.from_dict({**space.to_dict(), "version": 99})
+
+    def test_inline_base_dict(self):
+        space = SearchSpace(
+            base={"softwalker": {"enabled": True}},
+            dimensions=(CategoricalDim(path="ptw.num_walkers", values=(0, 32)),),
+        )
+        candidates, _ = space.materialize()
+        assert all(c.config.softwalker.enabled for c in candidates)
+
+    def test_load_space_tolerates_at_prefix(self, tmp_path):
+        path = tmp_path / "space.json"
+        path.write_text(json.dumps(self.space().to_dict()), encoding="utf-8")
+        assert load_space(f"@{path}").size() == 4
+        assert load_space(str(path)).size() == 4
+
+    def test_candidate_label_and_assignment_dict(self):
+        candidate = Candidate(
+            index=3,
+            assignment=(("walk_backend", None), ("ptw.num_walkers", 16)),
+            config=baseline_config(),
+        )
+        assert candidate.cid == "c0003"
+        assert candidate.assignment_dict() == {
+            "walk_backend": None,
+            "ptw.num_walkers": 16,
+        }
+        assert candidate.label() == "walk_backend=default,ptw.num_walkers=16"
+
+
+class TestSeededSample:
+    def test_deterministic_subset_in_original_order(self):
+        items = list(range(100))
+        first = seeded_sample(items, 10, 42)
+        second = seeded_sample(items, 10, 42)
+        assert first == second
+        assert first == sorted(first)  # original order preserved
+        assert len(set(first)) == 10
+
+    def test_different_seed_differs(self):
+        items = list(range(100))
+        assert seeded_sample(items, 10, 1) != seeded_sample(items, 10, 2)
+
+    def test_oversample_returns_everything(self):
+        assert seeded_sample([1, 2, 3], 10, 0) == [1, 2, 3]
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            seeded_sample([1, 2, 3], 0, 0)
+
+    def test_salt_separates_consumers(self):
+        items = list(range(100))
+        assert seeded_sample(items, 10, 7, salt="a") != seeded_sample(
+            items, 10, 7, salt="b"
+        )
+
+    def test_space_sample_is_enumeration_ordered(self):
+        space = SearchSpace(
+            base="baseline",
+            dimensions=(Pow2Dim(path="ptw.num_walkers", low=1, high=128),),
+        )
+        sampled = space.sample(3, seed=5)
+        indices = [c.index for c in sampled]
+        assert indices == sorted(indices)
+        assert len(indices) == 3

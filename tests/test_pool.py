@@ -186,3 +186,29 @@ class TestTraceExportUnderSweep:
         Runner(cache_entries=8).sweep(points, jobs=2)
         traces = sorted(p.name for p in tmp_path.glob("gups-*.trace.json"))
         assert traces == ["gups-0.trace.json", "gups-1.trace.json"]
+
+
+class TestFromDictStrictness:
+    def test_roundtrip(self):
+        point = make_point(baseline_config(), "gups", scale=TINY, seed=3)
+        assert SweepPoint.from_dict(point.to_dict()) == point
+
+    def test_unknown_field_rejected_with_did_you_mean(self):
+        payload = make_point(baseline_config(), "gups", scale=TINY).to_dict()
+        payload["benchmrak"] = payload.pop("benchmark")
+        with pytest.raises(ValueError, match="did you mean 'benchmark'"):
+            SweepPoint.from_dict(payload)
+
+    def test_unrelated_unknown_field_rejected_without_hint(self):
+        payload = make_point(baseline_config(), "gups", scale=TINY).to_dict()
+        payload["zzz"] = 1
+        with pytest.raises(ValueError, match="unknown SweepPoint field"):
+            SweepPoint.from_dict(payload)
+
+    def test_config_from_dict_rejects_typo_with_hint(self):
+        from repro.config import GPUConfig
+
+        payload = baseline_config().to_dict()
+        payload["num_smms"] = payload.pop("num_sms")
+        with pytest.raises((TypeError, ValueError), match="num_sms"):
+            GPUConfig.from_dict(payload)

@@ -444,3 +444,55 @@ class TestReportCLI:
         from repro.cli import main
 
         assert main(["report", "--store", str(tmp_path / "void")]) == 2
+
+
+class TestCompletenessSurfacing:
+    """Truncated (complete=False) replicates must never pollute statistics."""
+
+    def mixed_cell_set(self):
+        resultset = synthetic_resultset()
+        cell = resultset.cells()[0]
+        cell.replicates[1].complete = False
+        return resultset, cell
+
+    def test_values_and_median_exclude_incomplete(self):
+        resultset, cell = self.mixed_cell_set()
+        metric = METRICS["cycles"]
+        assert len(cell.values(metric)) == cell.n - 1
+        assert cell.median(metric) == 1000  # median of the 2 complete runs
+
+    def test_incomplete_counters_and_describe(self):
+        resultset, cell = self.mixed_cell_set()
+        assert cell.incomplete_n == 1
+        assert resultset.total_incomplete() == 1
+        assert "1 incomplete, excluded from statistics" in resultset.describe()
+        assert "incomplete" not in synthetic_resultset().describe()
+
+    def test_fingerprints_exclude_incomplete(self):
+        _resultset, cell = self.mixed_cell_set()
+        partial = cell.replicates[1]
+        assert result_digest(partial) not in cell.fingerprints()
+
+    def test_report_intro_carries_exclusion_note(self):
+        resultset, _cell = self.mixed_cell_set()
+        analysis = analyze(resultset)
+        assert "excluded from every statistic" in render_markdown(analysis)
+        assert "excluded" not in render_markdown(analyze(synthetic_resultset()))
+
+    def test_extra_store_key_fields_get_their_own_cell(self):
+        config = baseline_config()
+        full = store_key(config, "gups", 0)
+        truncated = {**store_key(config, "gups", 0), "max_events": 5000}
+        resultset = ResultSet.from_results(
+            [
+                (full, make_result(1000, seed=0)),
+                (truncated, make_result(400, seed=0)),
+            ]
+        )
+        labels = sorted(c.key.config for c in resultset.cells())
+        assert labels == ["baseline", "baseline[max_events=5000]"]
+        # The full-fidelity cell's median is untouched by the truncated run.
+        full_cell = next(
+            c for c in resultset.cells() if c.key.config == "baseline"
+        )
+        assert full_cell.median(METRICS["cycles"]) == 1000

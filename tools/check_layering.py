@@ -51,8 +51,18 @@ ALLOWED: dict[str, set[str]] = {
     "analysis": {"config", "gpu"},
     # Orchestration layers.
     "harness": {"analysis", "config", "gpu", "obs", "resilience", "workloads"},
+    "explore": {"analysis", "config", "gpu", "harness", "obs", "workloads"},
     "service": {"config", "gpu", "harness", "obs"},
-    "cli": {"analysis", "config", "gpu", "harness", "obs", "service", "workloads"},
+    "cli": {
+        "analysis",
+        "config",
+        "explore",
+        "gpu",
+        "harness",
+        "obs",
+        "service",
+        "workloads",
+    },
     # Package façade / entry point sit above everything.
     "__init__": {
         "analysis",
@@ -69,7 +79,7 @@ ALLOWED: dict[str, set[str]] = {
 #: These packages are the orchestration top — nothing below them may
 #: import them, whatever the allow-list says (defense in depth against
 #: an accidental allow-list edit).
-TOP_LAYERS = {"harness", "service", "cli"}
+TOP_LAYERS = {"harness", "explore", "service", "cli"}
 MODEL_LAYERS = set(ALLOWED) - TOP_LAYERS - {"__init__", "__main__"}
 
 

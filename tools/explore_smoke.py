@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Explore smoke check (the CI gate for the ``repro.explore`` subsystem).
+
+Proves the design-space-exploration guarantees end to end, with real
+subprocesses, on a tiny space where the answer is *planted*: the oracle
+walk backend (``examples/plugins/toy_backend.py``) models unlimited
+page-walk concurrency, so it is strictly faster than any hardware
+walker count — the search must put it on the Pareto front.
+
+1. **Planted optimum** — ``repro explore`` over
+   {walk_backend: default|oracle} x {num_walkers: 16|32} finds the
+   oracle on every Pareto-front point, with the knee among them.
+2. **Budget economy** — the rung ledger proves the search simulated
+   fewer cycles than the exhaustive full-fidelity grid estimate.
+3. **Byte reproducibility** — a clean rerun in a fresh store and a
+   ``--jobs 2`` rerun both produce byte-identical artifacts.
+4. **Crash-safe resume** — a search SIGKILLed mid-ladder, rerun from
+   its state file in the same store, completes with the identical
+   artifact.
+
+Usage:
+    python tools/explore_smoke.py [--scale S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
+PLUGIN = os.path.join(REPO, "examples", "plugins", "toy_backend.py")
+
+sys.path.insert(0, os.path.join(REPO, "src"))
+os.environ["REPRO_PLUGINS"] = PLUGIN
+
+CHECKS: list[str] = []
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {label}" + (f" — {detail}" if detail else ""))
+    CHECKS.append(label)
+    if not ok:
+        sys.exit(1)
+
+
+def child_env() -> dict:
+    return dict(
+        os.environ,
+        PYTHONPATH=os.pathsep.join(
+            filter(None, [os.path.join(REPO, "src"), os.environ.get("PYTHONPATH")])
+        ),
+        REPRO_PLUGINS=PLUGIN,
+    )
+
+
+def explore_argv(workdir: str, space: str, scale: float, *, sub: str, jobs: int | None = None) -> list[str]:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "explore",
+        "--space",
+        space,
+        "--benchmarks",
+        "gups",
+        "--scale",
+        str(scale),
+        "--rungs",
+        "0.5:0.5:3000,1",
+        "--store",
+        os.path.join(workdir, sub, "store"),
+        "--out",
+        os.path.join(workdir, sub, "explore.json"),
+        "--state",
+        os.path.join(workdir, sub, "state.json"),
+    ]
+    if jobs is not None:
+        argv += ["--jobs", str(jobs)]
+    return argv
+
+
+def run_explore(workdir: str, space: str, scale: float, *, sub: str, jobs: int | None = None) -> str:
+    os.makedirs(os.path.join(workdir, sub), exist_ok=True)
+    proc = subprocess.run(
+        explore_argv(workdir, space, scale, sub=sub, jobs=jobs),
+        env=child_env(),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        check(f"explore run ({sub})", False, f"exit {proc.returncode}")
+    with open(os.path.join(workdir, sub, "explore.json"), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.05)
+    options = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="explore-smoke-") as workdir:
+        space_path = os.path.join(workdir, "space.json")
+        with open(space_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "version": 1,
+                    "base": "baseline",
+                    "dimensions": [
+                        {
+                            "kind": "categorical",
+                            "path": "walk_backend",
+                            "values": [None, "oracle"],
+                        },
+                        {"kind": "pow2", "path": "ptw.num_walkers", "low": 16, "high": 32},
+                    ],
+                },
+                handle,
+            )
+
+        # 1. The search must find the planted optimum.
+        reference = run_explore(workdir, space_path, options.scale, sub="ref")
+        artifact = json.loads(reference)
+        assignments = {c["id"]: c["assignment"] for c in artifact["candidates"]}
+        front = artifact["pareto_front"]
+        check(
+            "pareto front is non-empty",
+            bool(front),
+            f"{len(front)} point(s), knee={artifact['knee']['candidate']}",
+        )
+        oracle_only = all(
+            assignments[p["candidate"]].get("walk_backend") == "oracle"
+            for p in front
+        )
+        check(
+            "planted optimum (oracle backend) owns the Pareto front",
+            oracle_only,
+            ", ".join(
+                f"{p['candidate']}:{assignments[p['candidate']]}" for p in front
+            ),
+        )
+        check(
+            "knee point is on the front",
+            artifact["knee"]["candidate"] in {p["candidate"] for p in front},
+        )
+
+        # 2. The ledger proves economy over the exhaustive grid.
+        budget = artifact["budget"]
+        check(
+            "search simulated fewer cycles than the exhaustive grid",
+            budget["spent_cycles"] < budget["exhaustive_estimate_cycles"],
+            f"spent {budget['spent_cycles']} vs grid "
+            f"{budget['exhaustive_estimate_cycles']:.0f} "
+            f"({budget['savings_fraction']:.0%} saved)",
+        )
+
+        # 3. Byte reproducibility: fresh store, and a parallel rerun.
+        clean = run_explore(workdir, space_path, options.scale, sub="clean")
+        check("clean rerun in a fresh store is byte-identical", clean == reference)
+        parallel = run_explore(
+            workdir, space_path, options.scale, sub="jobs2", jobs=2
+        )
+        check("--jobs 2 artifact is byte-identical", parallel == reference)
+
+        # 4. Kill mid-search, then resume to an identical artifact.
+        killdir = os.path.join(workdir, "kill")
+        os.makedirs(killdir, exist_ok=True)
+        state_path = os.path.join(killdir, "state.json")
+        victim = subprocess.Popen(
+            explore_argv(workdir, space_path, options.scale, sub="kill"),
+            env=child_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.time() + 120
+        while time.time() < deadline and victim.poll() is None:
+            if os.path.exists(state_path):
+                break
+            time.sleep(0.05)
+        mid_search = victim.poll() is None and os.path.exists(state_path)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        check(
+            "search interrupted after its first persisted rung",
+            os.path.exists(state_path),
+            "killed mid-ladder" if mid_search else "finished before the kill",
+        )
+        resumed = run_explore(workdir, space_path, options.scale, sub="kill")
+        check("resumed search artifact is byte-identical", resumed == reference)
+
+    print(f"\nexplore smoke: all {len(CHECKS)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
