@@ -7,6 +7,13 @@ the cycle at which the requested sector is available, issuing a DRAM
 access for misses.  Page-table entries are cached here (and only here,
 following the paper's footnote 2), so page-walk cost is priced by real
 cache behaviour.
+
+``access`` is the single hottest component method in ``repro profile``
+runs, so the hot path hoists everything it can: the per-instance
+counter-name strings are precomputed, counters are bumped through the
+raw :meth:`~repro.sim.stats.Counter.live` mapping, and the victim way
+is resolved back to its tag through a per-set ``_tag_of`` array instead
+of a reverse scan over the tag->way dict.
 """
 
 from __future__ import annotations
@@ -57,12 +64,25 @@ class SectoredCache:
             make_policy(replacement_policy) for _ in range(self._num_sets)
         ]
         self._way_of: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
+        #: way -> resident tag per set (None when free): victim
+        #: resolution without a reverse dict scan.
+        self._tag_of: list[list[int | None]] = [
+            [None] * config.associativity for _ in range(self._num_sets)
+        ]
         self._free_ways: list[list[int]] = [
             list(range(config.associativity)) for _ in range(self._num_sets)
         ]
         self._tick = 0
         #: Min-heap of outstanding miss completion times (MSHR occupancy).
         self._outstanding: list[int] = []
+        self._counts = stats.counters.live()
+        self._c_accesses = f"{name}.accesses"
+        self._c_merges = f"{name}.merges"
+        self._c_hits = f"{name}.hits"
+        self._c_sector_misses = f"{name}.sector_misses"
+        self._c_misses = f"{name}.misses"
+        self._c_mshr_full = f"{name}.mshr_full"
+        self._c_evictions = f"{name}.evictions"
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -81,11 +101,17 @@ class SectoredCache:
         A "hit" means the sector was already resident or being fetched
         (miss-merge); a miss allocates and fetches from DRAM.
         """
-        set_index, tag, sector = self._split(address)
+        config = self.config
+        line_bytes = config.line_bytes
+        line_addr = address // line_bytes
+        set_index = line_addr % self._num_sets
+        tag = line_addr // self._num_sets
+        sector = (address % line_bytes) // config.sector_bytes
         self._tick += 1
-        lookup_done = now + self.config.latency
+        lookup_done = now + config.latency
         cache_set = self._sets[set_index]
-        self.stats.counters.add(f"{self.name}.accesses")
+        counts = self._counts
+        counts[self._c_accesses] += 1
 
         line = cache_set.get(tag)
         if line is not None:
@@ -94,53 +120,57 @@ class SectoredCache:
             ready = line.sector_ready.get(sector)
             if ready is not None:
                 if ready > lookup_done:
-                    self.stats.counters.add(f"{self.name}.merges")
+                    counts[self._c_merges] += 1
                     return ready, True
-                self.stats.counters.add(f"{self.name}.hits")
+                counts[self._c_hits] += 1
                 return lookup_done, True
             # Line resident but sector absent: sector miss.
             completion = self._fetch(address, lookup_done)
             line.sector_ready[sector] = completion
-            self.stats.counters.add(f"{self.name}.sector_misses")
+            counts[self._c_sector_misses] += 1
             return completion, False
 
         # Full line miss: allocate a way.
         line = self._allocate(set_index, tag)
         completion = self._fetch(address, lookup_done)
         line.sector_ready[sector] = completion
-        self.stats.counters.add(f"{self.name}.misses")
+        counts[self._c_misses] += 1
         return completion, False
 
     def _fetch(self, address: int, start: int) -> int:
         """Send a sector fetch to DRAM, respecting MSHR capacity."""
-        while self._outstanding and self._outstanding[0] <= start:
-            heapq.heappop(self._outstanding)
-        if len(self._outstanding) >= self.config.mshr_entries:
+        outstanding = self._outstanding
+        while outstanding and outstanding[0] <= start:
+            heapq.heappop(outstanding)
+        if len(outstanding) >= self.config.mshr_entries:
             # All MSHRs busy: the request stalls until one frees up.
-            self.stats.counters.add(f"{self.name}.mshr_full")
-            start = max(start, heapq.heappop(self._outstanding))
+            self._counts[self._c_mshr_full] += 1
+            start = max(start, heapq.heappop(outstanding))
         completion = self.next_level.access(address, start)
-        heapq.heappush(self._outstanding, completion)
+        heapq.heappush(outstanding, completion)
         return completion
 
     def _allocate(self, set_index: int, tag: int) -> _Line:
         cache_set = self._sets[set_index]
         policy = self._policies[set_index]
         free = self._free_ways[set_index]
+        tag_of = self._tag_of[set_index]
         if free:
             way = free.pop()
         else:
-            way = policy.victim(list(self._way_of[set_index].values()))
-            victim_tag = next(
-                t for t, w in self._way_of[set_index].items() if w == way
-            )
+            # Free list empty: every way is resident, so candidates are
+            # all ways in way order (built-in policies are
+            # candidate-order-independent — ticks are unique).
+            way = policy.victim(list(range(self.config.associativity)))
+            victim_tag = tag_of[way]
             del cache_set[victim_tag]
             del self._way_of[set_index][victim_tag]
             policy.forget(way)
-            self.stats.counters.add(f"{self.name}.evictions")
+            self._counts[self._c_evictions] += 1
         line = _Line(tag)
         cache_set[tag] = line
         self._way_of[set_index][tag] = way
+        tag_of[way] = tag
         policy.touch(way, self._tick)
         return line
 
@@ -149,12 +179,12 @@ class SectoredCache:
     # ------------------------------------------------------------------
     def miss_rate(self) -> float:
         """Fraction of accesses that went to DRAM (full or sector misses)."""
-        accesses = self.stats.counters.get(f"{self.name}.accesses")
+        accesses = self.stats.counters.get(self._c_accesses)
         if accesses == 0:
             return 0.0
         misses = self.stats.counters.get(
-            f"{self.name}.misses"
-        ) + self.stats.counters.get(f"{self.name}.sector_misses")
+            self._c_misses
+        ) + self.stats.counters.get(self._c_sector_misses)
         return misses / accesses
 
     def resident_lines(self) -> int:

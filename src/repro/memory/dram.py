@@ -30,20 +30,29 @@ class DRAM:
         #: DRAM latency spikes — thermal throttling, refresh storms —
         #: by raising this for a bounded window).
         self.extra_latency = 0
+        # The queue math is called once per sector fetch: hoist the
+        # config scalars and the raw counter mapping out of the call.
+        self._channels = config.channels
+        self._cycles_per_access = config.cycles_per_access
+        self._latency = config.latency
+        self._counts = stats.counters.live()
 
     def channel_of(self, address: int) -> int:
-        return (address // CHANNEL_INTERLEAVE_BYTES) % self.config.channels
+        return (address // CHANNEL_INTERLEAVE_BYTES) % self._channels
 
     def access(self, address: int, now: int) -> int:
         """Issue one sector read at ``now``; returns its completion time."""
-        channel = self.channel_of(address)
-        start = max(now, self._channel_free[channel])
-        self._channel_free[channel] = start + self.config.cycles_per_access
-        queue_delay = start - now
-        self.stats.counters.add("dram.accesses")
-        if queue_delay:
-            self.stats.counters.add("dram.queue_cycles", queue_delay)
-        return start + self.config.latency + self.extra_latency
+        channel = (address // CHANNEL_INTERLEAVE_BYTES) % self._channels
+        free = self._channel_free
+        start = free[channel]
+        if start < now:
+            start = now
+        free[channel] = start + self._cycles_per_access
+        counts = self._counts
+        counts["dram.accesses"] += 1
+        if start > now:
+            counts["dram.queue_cycles"] += start - now
+        return start + self._latency + self.extra_latency
 
     def busy_until(self, channel: int) -> int:
         return self._channel_free[channel]

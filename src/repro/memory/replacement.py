@@ -19,7 +19,11 @@ class ReplacementPolicy(ABC):
 
     @abstractmethod
     def victim(self, candidate_ways: list[int]) -> int:
-        """Choose which of ``candidate_ways`` to evict."""
+        """Choose which of ``candidate_ways`` to evict.
+
+        Callers pass candidates in ascending way order; on a tie the
+        first (lowest-numbered) minimal way wins.
+        """
 
     @abstractmethod
     def forget(self, way: int) -> None:
@@ -36,9 +40,21 @@ class LRUPolicy(ReplacementPolicy):
         self._last_use[way] = tick
 
     def victim(self, candidate_ways: list[int]) -> int:
+        # Explicit loop instead of min(key=lambda ...): victim search is
+        # on the TLB/cache eviction hot path and the lambda call per
+        # candidate dominated it.  Strict < keeps min()'s first-wins
+        # tie-break.
         if not candidate_ways:
             raise ValueError("no candidate ways to evict")
-        return min(candidate_ways, key=lambda way: self._last_use.get(way, -1))
+        last = self._last_use
+        best = candidate_ways[0]
+        best_tick = last.get(best, -1)
+        for way in candidate_ways[1:]:
+            tick = last.get(way, -1)
+            if tick < best_tick:
+                best = way
+                best_tick = tick
+        return best
 
     def forget(self, way: int) -> None:
         self._last_use.pop(way, None)
@@ -59,7 +75,15 @@ class FIFOPolicy(ReplacementPolicy):
     def victim(self, candidate_ways: list[int]) -> int:
         if not candidate_ways:
             raise ValueError("no candidate ways to evict")
-        return min(candidate_ways, key=lambda way: self._inserted.get(way, -1))
+        inserted = self._inserted
+        best = candidate_ways[0]
+        best_tick = inserted.get(best, -1)
+        for way in candidate_ways[1:]:
+            tick = inserted.get(way, -1)
+            if tick < best_tick:
+                best = way
+                best_tick = tick
+        return best
 
     def forget(self, way: int) -> None:
         self._inserted.pop(way, None)

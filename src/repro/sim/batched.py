@@ -1,0 +1,269 @@
+"""Cycle-batched event engine: identical results, fewer dispatch round trips.
+
+:class:`BatchedEngine` is a drop-in :class:`~repro.sim.engine.Engine`
+replacement (registered as ``"batched"`` in
+``repro.arch.registry.EVENT_ENGINES``).  Instead of popping one event at
+a time and paying a full Python method call per event, it recognises
+*runs* of adjacent events that share the same cycle and the same bound
+method, and — when that method opted in via
+:func:`~repro.sim.engine.batch_dispatch` — hands the whole run to the
+method's batch handler as one ``args_list`` call.  The handler iterates
+with hoisted locals, so the per-event attribute lookups and call frames
+that dominate hot sites (``HardwareWalkBackend._finish``,
+``TranslationService._l2_lookup``) are paid once per *batch*.
+
+Equivalence contract (pinned by golden fingerprints and the parity
+tests in ``tests/test_batched_engine.py``):
+
+* **Order** — a batch is a maximal run of *adjacent* ``(time, seq)``
+  events; events are delivered to the handler in exactly the order the
+  heap engine would have popped them, and a run is never extended past
+  an event with a different callback, owner, cycle, or daemon flag.
+* **Daemon-drop** — daemons never join a batch, and since every event
+  of an in-flight batch is real work, the "only housekeeping left"
+  condition cannot become true mid-batch; it is re-checked at the loop
+  top exactly like the heap engine.
+* **Truncation and audit** — batches are capped so they can never cross
+  a ``max_events`` boundary or an audit-every-N boundary: the audit
+  hook and the truncated flag fire after exactly the same event index
+  as under the heap engine.
+* **Profiling** — a batch bills one timer interval to the site's
+  qualname with ``calls += len(batch)``, so per-site call counts match
+  the heap engine and self-time stays comparable (slightly cheaper,
+  which is the point).  Batched delivery is additionally tallied in
+  :meth:`batch_counts` so ``repro profile`` can label the site.
+
+State layout is untouched — the queue is the same heap, and events are
+only popped as they join the batch currently being dispatched, so at
+every ``run()`` exit (and between events) the engine is bit-identical
+to a heap engine that processed the same prefix.  ``step()``,
+checkpoint deep-copies, and the resilience invariants therefore work
+unchanged.  The one sharp edge: if a batch *handler* raises mid-batch,
+the already-popped tail of the batch is lost — exactly why supervised
+runs resume from a between-events checkpoint rather than the broken
+simulator (covered by ``tests/test_batched_engine.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from repro.sim.engine import Engine
+
+_HANDLER_ATTR = "__batch_handler__"
+
+
+class BatchedEngine(Engine):
+    """Engine that drains same-cycle, same-site event runs in one call."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: site qualname -> [batches dispatched, events delivered batched]
+        self._batch_sites: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        self.truncated = False
+        if (
+            until is None
+            and max_events is None
+            and self._audit is None
+            and self._profile is None
+        ):
+            # The common bench/run path: no boundaries to respect inside
+            # a cycle, so the dispatch loop drops every per-event
+            # feature check.
+            return self._run_fast()
+        return self._run_full(until, max_events)
+
+    def _run_fast(self) -> int:
+        """Dispatch loop with no until/max_events/audit/profiling."""
+        queue = self._queue
+        pop = heapq.heappop
+        sites = self._batch_sites
+        while queue:
+            if self._daemons_pending == len(queue):
+                queue.clear()
+                self._daemons_pending = 0
+                break
+            when, _seq, callback, args, daemon = pop(queue)
+            self.now = when
+            if daemon:
+                self._daemons_pending -= 1
+                callback(*args)
+                self._events_processed += 1
+                continue
+            func = getattr(callback, "__func__", None)
+            handler_name = (
+                getattr(func, _HANDLER_ATTR, None) if func is not None else None
+            )
+            if handler_name is None:
+                callback(*args)
+                self._events_processed += 1
+                continue
+            owner = callback.__self__
+            batch = [args]
+            append = batch.append
+            while queue:
+                head = queue[0]
+                if (
+                    head[0] != when
+                    or head[4]
+                    or getattr(head[2], "__func__", None) is not func
+                    or head[2].__self__ is not owner
+                ):
+                    break
+                pop(queue)
+                append(head[3])
+            n = len(batch)
+            if n == 1:
+                callback(*args)
+            else:
+                getattr(owner, handler_name)(batch)
+                key = func.__qualname__
+                try:
+                    cell = sites[key]
+                except KeyError:
+                    sites[key] = [1, n]
+                else:
+                    cell[0] += 1
+                    cell[1] += n
+            self._events_processed += n
+        return self.now
+
+    def _run_full(self, until: int | None, max_events: int | None) -> int:
+        """Dispatch loop honouring every per-event boundary the heap
+        engine honours — batches are capped so audit/truncation fire at
+        exactly the same event index."""
+        queue = self._queue
+        pop = heapq.heappop
+        profile = self._profile
+        sites = self._batch_sites
+        processed = 0
+        while queue:
+            if max_events is not None and processed >= max_events:
+                self.truncated = self.real_pending > 0
+                break
+            if self._daemons_pending == len(queue):
+                queue.clear()
+                self._daemons_pending = 0
+                break
+            when = queue[0][0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            _w, _seq, callback, args, daemon = pop(queue)
+            if daemon:
+                self._daemons_pending -= 1
+            self.now = when
+            func = getattr(callback, "__func__", None)
+            handler_name = None
+            if not daemon and func is not None:
+                handler_name = getattr(func, _HANDLER_ATTR, None)
+            if handler_name is None:
+                n = 1
+                if profile is not None:
+                    key = getattr(callback, "__qualname__", None)
+                    if key is None:
+                        key = repr(callback)
+                    started = time.perf_counter()
+                    callback(*args)
+                    elapsed = time.perf_counter() - started
+                    try:
+                        cell = profile[key]
+                    except KeyError:
+                        profile[key] = [1, elapsed]
+                    else:
+                        cell[0] += 1
+                        cell[1] += elapsed
+                else:
+                    callback(*args)
+            else:
+                # Cap the batch so it never crosses an audit or
+                # max_events boundary.  Both caps are >= 1 at this
+                # point: the loop top guarantees processed < max_events
+                # and the audit countdown resets to >= 1 after firing.
+                cap = self._audit_countdown if self._audit is not None else None
+                if max_events is not None:
+                    room = max_events - processed
+                    cap = room if cap is None else min(cap, room)
+                owner = callback.__self__
+                batch = [args]
+                append = batch.append
+                while queue and (cap is None or len(batch) < cap):
+                    head = queue[0]
+                    if (
+                        head[0] != when
+                        or head[4]
+                        or getattr(head[2], "__func__", None) is not func
+                        or head[2].__self__ is not owner
+                    ):
+                        break
+                    pop(queue)
+                    append(head[3])
+                n = len(batch)
+                key = func.__qualname__
+                if n == 1:
+                    # Singleton run: dispatch exactly like the heap engine.
+                    if profile is not None:
+                        started = time.perf_counter()
+                        callback(*args)
+                        elapsed = time.perf_counter() - started
+                        try:
+                            cell = profile[key]
+                        except KeyError:
+                            profile[key] = [1, elapsed]
+                        else:
+                            cell[0] += 1
+                            cell[1] += elapsed
+                    else:
+                        callback(*args)
+                else:
+                    target = getattr(owner, handler_name)
+                    if profile is not None:
+                        started = time.perf_counter()
+                        target(batch)
+                        elapsed = time.perf_counter() - started
+                        try:
+                            cell = profile[key]
+                        except KeyError:
+                            profile[key] = [n, elapsed]
+                        else:
+                            cell[0] += n
+                            cell[1] += elapsed
+                    else:
+                        target(batch)
+                    try:
+                        scell = sites[key]
+                    except KeyError:
+                        sites[key] = [1, n]
+                    else:
+                        scell[0] += 1
+                        scell[1] += n
+            processed += n
+            self._events_processed += n
+            audit = self._audit
+            if audit is not None:
+                self._audit_countdown -= n
+                if self._audit_countdown <= 0:
+                    self._audit_countdown = self._audit_every
+                    audit()
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def batch_counts(self) -> dict[str, int]:
+        """site -> events that were delivered through its batch handler."""
+        return {name: cell[1] for name, cell in self._batch_sites.items()}
+
+    def profile_to_dict(self) -> dict:
+        data = super().profile_to_dict()
+        for name, cell in self._batch_sites.items():
+            entry = data.get(name)
+            if entry is not None:
+                entry["batched"] = cell[1]
+        return data

@@ -26,6 +26,18 @@ class Counter:
     def add(self, name: str, amount: int = 1) -> None:
         self._counts[name] += amount
 
+    def live(self) -> dict[str, int]:
+        """The mutable name -> count mapping itself (hot-path accessor).
+
+        Components that bump the same counter hundreds of thousands of
+        times per run hoist this mapping and precompute their counter
+        names, so each event costs one dict ``+= 1`` instead of a method
+        call plus an f-string.  The mapping is a ``defaultdict(int)``
+        and the reference stays valid across :meth:`reset` (which clears
+        in place, never rebinds).
+        """
+        return self._counts
+
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
 

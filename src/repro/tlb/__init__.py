@@ -4,7 +4,7 @@ from repro.tlb.coalesced import CoalescedTLB
 from repro.tlb.speculation import ContiguityPredictor
 from repro.tlb.mshr import MSHRFile, MSHRResult
 from repro.tlb.pwc import PageWalkCache
-from repro.tlb.tlb import TLB, TLBEntry
+from repro.tlb.tlb import TLB
 from repro.tlb.tracker import L2MissTracker, TrackOutcome
 
 __all__ = [
@@ -14,7 +14,6 @@ __all__ = [
     "MSHRResult",
     "PageWalkCache",
     "TLB",
-    "TLBEntry",
     "L2MissTracker",
     "TrackOutcome",
 ]

@@ -13,8 +13,11 @@ contiguity at all — falls straight out of this model: enable it via
 workloads (see ``tests/test_coalesced_tlb.py``).
 
 Valid block entries and pending In-TLB MSHR slots (keyed by raw VPN)
-live in the same arrays; block keys are offset into a disjoint integer
-range so the two can never collide.
+live in the same flattened arrays; block keys are offset into a
+disjoint integer range so the two can never collide.  A block slot
+reuses the base class's per-slot ``_waiters`` cell to hold its
+valid-page bitmask (an ``int`` — a block entry is never pending, and a
+pending slot is never a block, so the cell is unambiguous).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from typing import Any, Callable
 
 from repro.config import TLBConfig
 from repro.sim.stats import StatsRegistry
-from repro.tlb.tlb import TLB, TLBEntry
+from repro.tlb.tlb import TLB
 
 #: Keys >= this are block entries; raw VPNs (< 2^33) stay below it.
 _BLOCK_KEY_BASE = 1 << 40
@@ -49,6 +52,7 @@ class CoalescedTLB(TLB):
         super().__init__(config, stats, name=name)
         self.span = span
         self._translate = translate
+        self._c_coalesced_fills = f"{name}.coalesced_fills"
 
     # ------------------------------------------------------------------
     # Key handling
@@ -61,16 +65,20 @@ class CoalescedTLB(TLB):
     # ------------------------------------------------------------------
     def lookup(self, vpn: int) -> int | None:
         self._tick += 1
-        self.stats.counters.add(f"{self.name}.lookups")
-        key = self._block_key(vpn)
-        set_index = self.set_index(key)
-        entry = self._sets[set_index].get(key)
+        counts = self._counts
+        counts[self._c_lookups] += 1
+        slot = self._map.get(_BLOCK_KEY_BASE + vpn // self.span)
         offset = vpn % self.span
-        if entry is not None and not entry.pending and (entry.waiters[0] >> offset) & 1:
-            self._policies[set_index].touch(self._way_of[set_index][key], self._tick)
-            self.stats.counters.add(f"{self.name}.hits")
-            return entry.pfn + offset
-        self.stats.counters.add(f"{self.name}.misses")
+        if (
+            slot is not None
+            and not self._pend[slot]
+            and (self._waiters[slot] >> offset) & 1
+        ):
+            set_index, way = divmod(slot, self._ways)
+            self._policies[set_index].touch(way, self._tick)
+            counts[self._c_hits] += 1
+            return self._pfn[slot] + offset
+        counts[self._c_misses] += 1
         return None
 
     def fill(self, vpn: int, pfn: int) -> list[Any]:
@@ -81,16 +89,16 @@ class CoalescedTLB(TLB):
         entry's valid mask (bit per page).
         """
         self._tick += 1
+        counts = self._counts
         waiters: list[Any] = []
-        pending = self.probe_pending(vpn)
-        if pending is not None:
-            set_index = self.set_index(vpn)
-            waiters = pending.waiters
-            pending.waiters = []
-            pending.pending = False
+        slot = self._map.get(vpn)
+        if slot is not None and self._pend[slot]:
+            waiters = self._waiters[slot]
+            self._waiters[slot] = None
+            self._pend[slot] = 0
             self._pending_count -= 1
-            self.stats.counters.add(f"{self.name}.pending_resolved")
-            self._evict(set_index, vpn)
+            counts[self._c_pending_resolved] += 1
+            self._evict_slot(slot)
 
         offset = vpn % self.span
         base_vpn = vpn - offset
@@ -103,24 +111,22 @@ class CoalescedTLB(TLB):
             if neighbour_pfn is not None and neighbour_pfn == base_pfn + other:
                 mask |= 1 << other
         if mask != 1 << offset:
-            self.stats.counters.add(f"{self.name}.coalesced_fills")
+            counts[self._c_coalesced_fills] += 1
 
         key = self._block_key(vpn)
         set_index = self.set_index(key)
-        entry = self._sets[set_index].get(key)
-        if entry is not None and not entry.pending:
-            entry.pfn = base_pfn
-            entry.waiters = [mask | entry.waiters[0]]
-            self._policies[set_index].touch(self._way_of[set_index][key], self._tick)
+        slot = self._map.get(key)
+        if slot is not None and not self._pend[slot]:
+            self._pfn[slot] = base_pfn
+            self._waiters[slot] = mask | self._waiters[slot]
+            self._policies[set_index].touch(slot - set_index * self._ways, self._tick)
             return waiters
-        way = self._take_way(set_index)
-        if way is None:
-            self.stats.counters.add(f"{self.name}.fill_dropped")
+        slot = self._take_slot(set_index)
+        if slot is None:
+            counts[self._c_fill_dropped] += 1
             return waiters
-        # Reuse TLBEntry: ``vpn`` holds the block key, ``waiters[0]`` the
-        # valid-page bitmask (a block entry is never pending).
-        block_entry = TLBEntry(vpn=key, pfn=base_pfn, waiters=[mask])
-        self._install(set_index, way, block_entry)
+        self._install(slot, key, base_pfn)
+        self._waiters[slot] = mask
         return waiters
 
     def _probe_neighbour(self, vpn: int) -> int | None:
@@ -131,24 +137,25 @@ class CoalescedTLB(TLB):
 
     def invalidate(self, vpn: int) -> bool:
         """Shootdown: clear the page's bit; drop the entry when empty."""
-        key = self._block_key(vpn)
-        set_index = self.set_index(key)
-        entry = self._sets[set_index].get(key)
-        if entry is None or entry.pending:
+        slot = self._map.get(self._block_key(vpn))
+        if slot is None or self._pend[slot]:
             return False
         offset = vpn % self.span
-        if not (entry.waiters[0] >> offset) & 1:
+        mask = self._waiters[slot]
+        if not (mask >> offset) & 1:
             return False
-        entry.waiters = [entry.waiters[0] & ~(1 << offset)]
-        if entry.waiters[0] == 0:
-            self._evict(set_index, key)
+        mask &= ~(1 << offset)
+        self._waiters[slot] = mask
+        if mask == 0:
+            self._evict_slot(slot)
         return True
 
     def coverage(self) -> int:
         """Total pages currently translatable (reach, in pages)."""
+        pend = self._pend
+        masks = self._waiters
         return sum(
-            bin(entry.waiters[0]).count("1")
-            for tlb_set in self._sets
-            for entry in tlb_set.values()
-            if not entry.pending
+            masks[slot].bit_count()
+            for slot in self._map.values()
+            if not pend[slot]
         )

@@ -47,22 +47,30 @@ class MSHRFile:
         self.stats = stats
         self.name = name
         self._entries: dict[int, list[Any]] = {}
+        # allocate/resolve run on the translation hot path: hoist the
+        # raw counter mapping and precompute the counter names.
+        self._counts = stats.counters.live()
+        self._c_merge_full = f"{name}.merge_full"
+        self._c_merged = f"{name}.merged"
+        self._c_full = f"{name}.full"
+        self._c_allocated = f"{name}.allocated"
+        self._c_resolved = f"{name}.resolved"
 
     def allocate(self, vpn: int, waiter: Any) -> MSHRResult:
         """Try to track a miss on ``vpn`` for ``waiter``."""
         waiters = self._entries.get(vpn)
         if waiters is not None:
             if len(waiters) >= self.merges:
-                self.stats.counters.add(f"{self.name}.merge_full")
+                self._counts[self._c_merge_full] += 1
                 return MSHRResult.FULL
             waiters.append(waiter)
-            self.stats.counters.add(f"{self.name}.merged")
+            self._counts[self._c_merged] += 1
             return MSHRResult.MERGED
         if len(self._entries) >= self.capacity:
-            self.stats.counters.add(f"{self.name}.full")
+            self._counts[self._c_full] += 1
             return MSHRResult.FULL
         self._entries[vpn] = [waiter]
-        self.stats.counters.add(f"{self.name}.allocated")
+        self._counts[self._c_allocated] += 1
         return MSHRResult.NEW
 
     def resolve(self, vpn: int) -> list[Any]:
@@ -70,7 +78,7 @@ class MSHRFile:
         waiters = self._entries.pop(vpn, None)
         if waiters is None:
             return []
-        self.stats.counters.add(f"{self.name}.resolved")
+        self._counts[self._c_resolved] += 1
         return waiters
 
     def is_tracking(self, vpn: int) -> bool:

@@ -48,8 +48,17 @@ class PageWalkCache:
         self._entries: dict[tuple[int, int], int] = {}
         self._policy = make_policy(replacement_policy)
         self._way_of: dict[tuple[int, int], int] = {}
+        #: way -> key (None when free): resolves a victim way without
+        #: the reverse scan over ``_way_of``.
+        self._key_of: list[tuple[int, int] | None] = [None] * entries
         self._free = list(range(entries))
         self._tick = 0
+        self._counts = stats.counters.live()
+        self._c_probes = f"{name}.probes"
+        self._c_hits = f"{name}.hits"
+        self._c_root_fallbacks = f"{name}.root_fallbacks"
+        self._c_evictions = f"{name}.evictions"
+        self._c_fills = f"{name}.fills"
 
     def probe(self, vpn: int) -> tuple[int, int]:
         """Deepest cached node for ``vpn``: returns ``(level, node_base)``.
@@ -58,15 +67,18 @@ class PageWalkCache:
         fallback is ``(root_level, root_base)``.
         """
         self._tick += 1
-        self.stats.counters.add(f"{self.name}.probes")
+        counts = self._counts
+        counts[self._c_probes] += 1
+        table_tag = self.layout.table_tag
+        entries = self._entries
         for level in range(self.min_level, self.layout.levels):
-            key = (level, self.layout.table_tag(vpn, level))
-            base = self._entries.get(key)
+            key = (level, table_tag(vpn, level))
+            base = entries.get(key)
             if base is not None:
                 self._policy.touch(self._way_of[key], self._tick)
-                self.stats.counters.add(f"{self.name}.hits")
+                counts[self._c_hits] += 1
                 return level, base
-        self.stats.counters.add(f"{self.name}.root_fallbacks")
+        counts[self._c_root_fallbacks] += 1
         return self.layout.levels, self.root_base
 
     def fill(self, vpn: int, level: int, node_base: int) -> None:
@@ -82,22 +94,26 @@ class PageWalkCache:
         if self._free:
             way = self._free.pop()
         else:
-            way = self._policy.victim(list(self._way_of.values()))
-            victim_key = next(k for k, w in self._way_of.items() if w == way)
+            # Free list empty means every way is occupied: candidates
+            # are simply all ways, in way order (the built-in policies
+            # are candidate-order-independent — ticks are unique).
+            way = self._policy.victim(list(range(self.capacity)))
+            victim_key = self._key_of[way]
             del self._entries[victim_key]
             del self._way_of[victim_key]
             self._policy.forget(way)
-            self.stats.counters.add(f"{self.name}.evictions")
+            self._counts[self._c_evictions] += 1
         self._entries[key] = node_base
         self._way_of[key] = way
+        self._key_of[way] = key
         self._policy.touch(way, self._tick)
-        self.stats.counters.add(f"{self.name}.fills")
+        self._counts[self._c_fills] += 1
 
     def hit_rate(self) -> float:
-        probes = self.stats.counters.get(f"{self.name}.probes")
+        probes = self.stats.counters.get(self._c_probes)
         if probes == 0:
             return 0.0
-        return self.stats.counters.get(f"{self.name}.hits") / probes
+        return self.stats.counters.get(self._c_hits) / probes
 
     @property
     def occupancy(self) -> int:

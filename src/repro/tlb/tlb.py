@@ -1,31 +1,42 @@
 """Set-associative TLB with In-TLB MSHR support.
 
-Each entry carries the paper's pending bit (Section 4.5): alongside
-``invalid`` and ``valid`` states, an entry can be repurposed as a
+Each way carries the paper's pending bit (Section 4.5): alongside
+``invalid`` and ``valid`` states, a way can be repurposed as a
 temporary MSHR slot holding metadata for an outstanding miss.  Victim
 selection for both fills and pending allocations follows the TLB's
 replacement policy, restricted to non-pending ways — a pending entry
 must never be silently dropped, because waiters are parked on it.
+
+State layout
+============
+The TLB used to keep one ``dict[vpn, TLBEntry]`` per set plus a
+parallel ``dict[vpn, way]``; ``repro profile`` showed the per-set dict
+scans (victim candidate collection, reverse way->vpn lookup) as the
+hottest component code in the simulator.  The state is now *flattened
+parallel arrays* indexed by ``slot = set_index * ways + way``:
+
+* ``_map`` — one dict mapping key (vpn, or a block key in the
+  coalesced subclass) to its slot; the only hashing on the hot path.
+* ``_key_of`` — slot -> key (``-1`` when the way is empty), killing the
+  reverse scan when a victim way must be resolved back to its key.
+* ``_pfn`` / ``_pend`` / ``_waiters`` — per-slot translation, pending
+  bit (a ``bytearray``), and parked-waiter list (``None`` when not
+  pending).
+
+Victim candidates are produced in way order (``0..ways-1``), not dict
+insertion order.  The built-in LRU/FIFO policies are order-independent
+(their per-way ticks are unique, so the minimum is unique); plugin
+replacement policies now see a *defined* candidate order, which the
+registry documents as part of the policy contract.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.config import TLBConfig
 from repro.memory.replacement import make_policy
 from repro.sim.stats import StatsRegistry
-
-
-@dataclass
-class TLBEntry:
-    """One TLB way: a translation or (when pending) an in-TLB MSHR slot."""
-
-    vpn: int
-    pfn: int = 0
-    pending: bool = False
-    waiters: list[Any] = field(default_factory=list)
 
 
 class TLB:
@@ -46,8 +57,15 @@ class TLB:
         self._ways = (
             config.entries if config.associativity == 0 else config.associativity
         )
-        self._sets: list[dict[int, TLBEntry]] = [{} for _ in range(self._num_sets)]
-        self._way_of: list[dict[int, int]] = [{} for _ in range(self._num_sets)]
+        num_slots = self._num_sets * self._ways
+        #: key (vpn or block key) -> slot; the one hash on the hot path.
+        self._map: dict[int, int] = {}
+        self._key_of: list[int] = [-1] * num_slots
+        self._pfn: list[int] = [0] * num_slots
+        self._pend = bytearray(num_slots)
+        #: Waiter list of a pending way (None otherwise); the coalesced
+        #: subclass reuses the cell for a valid block's page bitmask.
+        self._waiters: list[Any] = [None] * num_slots
         self._free_ways: list[list[int]] = [
             list(range(self._ways)) for _ in range(self._num_sets)
         ]
@@ -56,6 +74,18 @@ class TLB:
         ]
         self._tick = 0
         self._pending_count = 0
+        # Hot-path accessors: the raw counter mapping plus precomputed
+        # names, so a lookup costs one dict += instead of a method call
+        # and an f-string.
+        self._counts = stats.counters.live()
+        self._c_lookups = f"{name}.lookups"
+        self._c_misses = f"{name}.misses"
+        self._c_hits = f"{name}.hits"
+        self._c_pending_resolved = f"{name}.pending_resolved"
+        self._c_fill_dropped = f"{name}.fill_dropped"
+        self._c_pending_allocated = f"{name}.pending_allocated"
+        self._c_pending_merged = f"{name}.pending_merged"
+        self._c_evictions = f"{name}.evictions"
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -69,21 +99,26 @@ class TLB:
     def lookup(self, vpn: int) -> int | None:
         """Return the PFN on hit, None on miss.  Pending entries miss."""
         self._tick += 1
-        set_index = self.set_index(vpn)
-        entry = self._sets[set_index].get(vpn)
-        self.stats.counters.add(f"{self.name}.lookups")
-        if entry is None or entry.pending:
-            self.stats.counters.add(f"{self.name}.misses")
+        counts = self._counts
+        counts[self._c_lookups] += 1
+        slot = self._map.get(vpn)
+        if slot is None or self._pend[slot]:
+            counts[self._c_misses] += 1
             return None
-        self._policies[set_index].touch(self._way_of[set_index][vpn], self._tick)
-        self.stats.counters.add(f"{self.name}.hits")
-        return entry.pfn
+        set_index, way = divmod(slot, self._ways)
+        self._policies[set_index].touch(way, self._tick)
+        counts[self._c_hits] += 1
+        return self._pfn[slot]
 
-    def probe_pending(self, vpn: int) -> TLBEntry | None:
-        """Return the pending entry for ``vpn`` without recording stats."""
-        entry = self._sets[self.set_index(vpn)].get(vpn)
-        if entry is not None and entry.pending:
-            return entry
+    def probe_pending(self, vpn: int) -> list[Any] | None:
+        """The live waiter list of ``vpn``'s pending way, or None.
+
+        No stats are recorded.  The list is the TLB's own (mutations
+        belong to :meth:`merge_pending`); callers only inspect it.
+        """
+        slot = self._map.get(vpn)
+        if slot is not None and self._pend[slot]:
+            return self._waiters[slot]
         return None
 
     def fill(self, vpn: int, pfn: int) -> list[Any]:
@@ -97,34 +132,33 @@ class TLB:
         cached), because pending slots must not be evicted.
         """
         self._tick += 1
-        set_index = self.set_index(vpn)
-        entry = self._sets[set_index].get(vpn)
-        if entry is not None:
+        slot = self._map.get(vpn)
+        if slot is not None:
             waiters: list[Any] = []
-            if entry.pending:
-                waiters = entry.waiters
-                entry.waiters = []
-                entry.pending = False
+            if self._pend[slot]:
+                waiters = self._waiters[slot]
+                self._waiters[slot] = None
+                self._pend[slot] = 0
                 self._pending_count -= 1
-                self.stats.counters.add(f"{self.name}.pending_resolved")
-            entry.pfn = pfn
-            self._policies[set_index].touch(self._way_of[set_index][vpn], self._tick)
+                self._counts[self._c_pending_resolved] += 1
+            self._pfn[slot] = pfn
+            set_index, way = divmod(slot, self._ways)
+            self._policies[set_index].touch(way, self._tick)
             return waiters
 
-        way = self._take_way(set_index)
-        if way is None:
-            self.stats.counters.add(f"{self.name}.fill_dropped")
+        slot = self._take_slot(self.set_index(vpn))
+        if slot is None:
+            self._counts[self._c_fill_dropped] += 1
             return []
-        self._install(set_index, way, TLBEntry(vpn=vpn, pfn=pfn))
+        self._install(slot, vpn, pfn)
         return []
 
     def invalidate(self, vpn: int) -> bool:
         """Drop a valid translation (TLB shootdown).  Pending ways stay."""
-        set_index = self.set_index(vpn)
-        entry = self._sets[set_index].get(vpn)
-        if entry is None or entry.pending:
+        slot = self._map.get(vpn)
+        if slot is None or self._pend[slot]:
             return False
-        self._evict(set_index, vpn)
+        self._evict_slot(slot)
         return True
 
     # ------------------------------------------------------------------
@@ -137,29 +171,29 @@ class TLB:
         slot (the per-set bottleneck that limits spmv in Section 6.3).
         """
         self._tick += 1
-        set_index = self.set_index(vpn)
-        entry = self._sets[set_index].get(vpn)
-        if entry is not None and entry.pending:
+        slot = self._map.get(vpn)
+        if slot is not None and self._pend[slot]:
             raise ValueError(f"vpn {vpn:#x} already pending; merge instead")
-        if entry is not None:
+        if slot is not None:
             # A valid entry exists; caller should have hit.  Replace it.
-            self._evict(set_index, vpn)
-        way = self._take_way(set_index)
-        if way is None:
+            self._evict_slot(slot)
+        slot = self._take_slot(self.set_index(vpn))
+        if slot is None:
             return False
-        pending = TLBEntry(vpn=vpn, pending=True, waiters=[waiter])
-        self._install(set_index, way, pending)
+        self._install(slot, vpn, 0)
+        self._pend[slot] = 1
+        self._waiters[slot] = [waiter]
         self._pending_count += 1
-        self.stats.counters.add(f"{self.name}.pending_allocated")
+        self._counts[self._c_pending_allocated] += 1
         return True
 
     def merge_pending(self, vpn: int, waiter: Any) -> bool:
         """Park another waiter on an existing pending entry."""
-        entry = self.probe_pending(vpn)
-        if entry is None:
+        slot = self._map.get(vpn)
+        if slot is None or not self._pend[slot]:
             return False
-        entry.waiters.append(waiter)
-        self.stats.counters.add(f"{self.name}.pending_merged")
+        self._waiters[slot].append(waiter)
+        self._counts[self._c_pending_merged] += 1
         return True
 
     @property
@@ -168,62 +202,59 @@ class TLB:
 
     def pending_vpns(self) -> list[int]:
         """VPNs of every in-TLB MSHR (pending) way (audit support)."""
-        return [
-            entry.vpn
-            for tlb_set in self._sets
-            for entry in tlb_set.values()
-            if entry.pending
-        ]
+        pend = self._pend
+        return [key for key, slot in self._map.items() if pend[slot]]
 
     def pending_waiter_count(self, vpn: int) -> int:
         """Waiters parked on ``vpn``'s pending way (0 if none)."""
-        entry = self.probe_pending(vpn)
-        return len(entry.waiters) if entry is not None else 0
+        waiters = self.probe_pending(vpn)
+        return len(waiters) if waiters is not None else 0
 
     # ------------------------------------------------------------------
     # Way management
     # ------------------------------------------------------------------
-    def _take_way(self, set_index: int) -> int | None:
+    def _take_slot(self, set_index: int) -> int | None:
+        """Claim a free or victim slot in ``set_index``; None when every
+        way is a pending MSHR slot."""
         free = self._free_ways[set_index]
+        base = set_index * self._ways
         if free:
-            return free.pop()
-        candidates = [
-            self._way_of[set_index][vpn]
-            for vpn, entry in self._sets[set_index].items()
-            if not entry.pending
-        ]
+            return base + free.pop()
+        pend = self._pend
+        candidates = [way for way in range(self._ways) if not pend[base + way]]
         if not candidates:
             return None
         way = self._policies[set_index].victim(candidates)
-        victim_vpn = next(
-            vpn for vpn, w in self._way_of[set_index].items() if w == way
-        )
-        self._evict(set_index, victim_vpn)
-        return self._free_ways[set_index].pop()
+        self._evict_slot(base + way)
+        return base + free.pop()
 
-    def _install(self, set_index: int, way: int, entry: TLBEntry) -> None:
-        self._sets[set_index][entry.vpn] = entry
-        self._way_of[set_index][entry.vpn] = way
+    def _install(self, slot: int, key: int, pfn: int) -> None:
+        self._map[key] = slot
+        self._key_of[slot] = key
+        self._pfn[slot] = pfn
+        set_index, way = divmod(slot, self._ways)
         self._policies[set_index].touch(way, self._tick)
 
-    def _evict(self, set_index: int, vpn: int) -> None:
-        way = self._way_of[set_index].pop(vpn)
-        del self._sets[set_index][vpn]
+    def _evict_slot(self, slot: int) -> None:
+        del self._map[self._key_of[slot]]
+        self._key_of[slot] = -1
+        self._waiters[slot] = None
+        set_index, way = divmod(slot, self._ways)
         self._policies[set_index].forget(way)
         self._free_ways[set_index].append(way)
-        self.stats.counters.add(f"{self.name}.evictions")
+        self._counts[self._c_evictions] += 1
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def hit_rate(self) -> float:
-        lookups = self.stats.counters.get(f"{self.name}.lookups")
+        lookups = self.stats.counters.get(self._c_lookups)
         if lookups == 0:
             return 0.0
-        return self.stats.counters.get(f"{self.name}.hits") / lookups
+        return self.stats.counters.get(self._c_hits) / lookups
 
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return len(self._map)
 
     def valid_entries(self) -> int:
-        return self.occupancy() - self._pending_count
+        return len(self._map) - self._pending_count

@@ -54,7 +54,7 @@ class L2MissTracker:
             return self._fail()
         pending = self.tlb.probe_pending(vpn)
         if pending is not None:
-            if len(pending.waiters) >= self.mshr.merges:
+            if len(pending) >= self.mshr.merges:
                 self.stats.counters.add(f"{self.tlb.name}.pending_merge_full")
                 return self._fail()
             self.tlb.merge_pending(vpn, waiter)

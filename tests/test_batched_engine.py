@@ -1,0 +1,458 @@
+"""Batched event engine: unit semantics, registry wiring, and parity.
+
+The batched engine's whole contract is "bit-identical to the heap
+engine, just faster".  These tests pin that contract from four angles:
+
+* unit-level order/daemon/truncation/audit/profiling semantics on
+  synthetic event sequences;
+* registry + config plumbing (``EVENT_ENGINES``, ``event_engine``
+  round-trip, fingerprint neutrality);
+* whole-simulation parity against the committed golden fingerprints,
+  including single-stepping and sweep dispatch;
+* checkpoint/resume and supervised-retry parity mid-batch.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.arch import EVENT_ENGINES
+from repro.arch.machine import MachineBuilder, MachineSpec
+from repro.config import (
+    DEFAULT_CONFIGS,
+    GPUConfig,
+    baseline_config,
+    config_fingerprint,
+    softwalker_config,
+)
+from repro.gpu.gpu import GPUSimulator
+from repro.harness import make_point
+from repro.harness.runner import Runner, build_workload
+from repro.harness.supervised import SupervisionPolicy, run_supervised
+from repro.resilience import Checkpoint
+from repro.sim import BatchedEngine, Engine, batch_dispatch
+
+SCALE = 0.05
+SEED = 7
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class Sink:
+    """Records delivery order and how each event arrived."""
+
+    def __init__(self) -> None:
+        self.log: list[int] = []
+        self.batch_sizes: list[int] = []
+
+    @batch_dispatch("on_batch")
+    def on_event(self, tag: int) -> None:
+        self.log.append(tag)
+        self.batch_sizes.append(1)
+
+    def on_batch(self, batch: list[tuple[int]]) -> None:
+        for (tag,) in batch:
+            self.log.append(tag)
+        self.batch_sizes.append(len(batch))
+
+
+class TestBatchFormation:
+    def test_same_cycle_run_becomes_one_batch(self):
+        engine = BatchedEngine()
+        sink = Sink()
+        for tag in range(4):
+            engine.schedule_at(5, sink.on_event, tag)
+        engine.run()
+        assert sink.log == [0, 1, 2, 3]
+        assert sink.batch_sizes == [4]
+        assert engine.events_processed == 4
+        assert engine.batch_counts() == {"Sink.on_event": 4}
+
+    def test_batch_splits_at_cycle_boundary(self):
+        engine = BatchedEngine()
+        sink = Sink()
+        engine.schedule_at(1, sink.on_event, 0)
+        engine.schedule_at(1, sink.on_event, 1)
+        engine.schedule_at(2, sink.on_event, 2)
+        engine.run()
+        assert sink.log == [0, 1, 2]
+        # Two same-cycle events batch; the lone one dispatches solo.
+        assert sink.batch_sizes == [2, 1]
+
+    def test_batch_splits_at_owner_boundary(self):
+        engine = BatchedEngine()
+        a, b = Sink(), Sink()
+        engine.schedule_at(1, a.on_event, 0)
+        engine.schedule_at(1, a.on_event, 1)
+        engine.schedule_at(1, b.on_event, 2)
+        engine.schedule_at(1, a.on_event, 3)
+        engine.run()
+        assert a.log == [0, 1, 3]
+        assert b.log == [2]
+        # The run on `a` is interrupted by `b`: no batch may reorder
+        # across it, so `a` gets a pair plus a singleton.
+        assert a.batch_sizes == [2, 1]
+        assert b.batch_sizes == [1]
+
+    def test_unmarked_callbacks_always_dispatch_solo(self):
+        engine = BatchedEngine()
+        seen = []
+
+        class Plain:
+            def on_event(self, tag):
+                seen.append(tag)
+
+        plain = Plain()
+        engine.schedule_at(1, plain.on_event, 0)
+        engine.schedule_at(1, plain.on_event, 1)
+        engine.run()
+        assert seen == [0, 1]
+        assert engine.batch_counts() == {}
+
+    def test_daemon_never_joins_a_batch(self):
+        engine = BatchedEngine()
+        sink = Sink()
+        daemons = []
+        engine.schedule_at(1, sink.on_event, 0)
+        engine.schedule_daemon(1, daemons.append, "tick")
+        engine.schedule_at(1, sink.on_event, 1)
+        engine.run()
+        assert sink.log == [0, 1]
+        assert daemons == ["tick"]
+        # The daemon interleaves mid-run, so the two real events cannot
+        # merge into one batch without reordering past it.
+        assert sink.batch_sizes == [1, 1]
+
+    def test_daemon_only_queue_drops_without_advancing_clock(self):
+        engine = BatchedEngine()
+        fired = []
+        engine.schedule_daemon(50, fired.append, "late")
+        assert engine.run() == 0
+        assert fired == []
+        assert engine.pending_events == 0
+
+
+class TestBoundaryParity:
+    """max_events / until / audit must fire at the heap engine's index."""
+
+    def _pair(self):
+        heap, batched = Engine(), BatchedEngine()
+        sinks = []
+        for engine in (heap, batched):
+            sink = Sink()
+            for tag in range(6):
+                engine.schedule_at(3, sink.on_event, tag)
+            engine.schedule_at(4, sink.on_event, 99)
+            sinks.append(sink)
+        return heap, batched, sinks[0], sinks[1]
+
+    def test_max_events_truncates_mid_batch(self):
+        heap, batched, heap_sink, batched_sink = self._pair()
+        heap.run(max_events=4)
+        batched.run(max_events=4)
+        assert batched_sink.log == heap_sink.log == [0, 1, 2, 3]
+        assert batched.truncated is heap.truncated is True
+        assert batched.events_processed == heap.events_processed == 4
+        assert batched.real_pending == heap.real_pending
+        # The remainder drains identically.
+        heap.run()
+        batched.run()
+        assert batched_sink.log == heap_sink.log
+
+    def test_until_stops_the_clock_identically(self):
+        heap, batched, heap_sink, batched_sink = self._pair()
+        assert heap.run(until=3) == batched.run(until=3) == 3
+        assert batched_sink.log == heap_sink.log == [0, 1, 2, 3, 4, 5]
+        assert batched.peek_time() == heap.peek_time() == 4
+
+    def test_audit_fires_at_identical_event_indices(self):
+        ticks = {"heap": [], "batched": []}
+        heap, batched, _hs, _bs = self._pair()
+        heap.attach_audit(2, lambda: ticks["heap"].append(heap.events_processed))
+        batched.attach_audit(
+            2, lambda: ticks["batched"].append(batched.events_processed)
+        )
+        heap.run()
+        batched.run()
+        assert ticks["batched"] == ticks["heap"] == [2, 4, 6]
+
+    def test_profiling_counts_match_heap(self):
+        heap, batched, _hs, _bs = self._pair()
+        heap.enable_profiling()
+        batched.enable_profiling()
+        heap.run()
+        batched.run()
+        heap_calls = {site: calls for site, calls, _s in heap.profile_report()}
+        batched_calls = {
+            site: calls for site, calls, _s in batched.profile_report()
+        }
+        assert batched_calls == heap_calls == {"Sink.on_event": 7}
+        exported = batched.profile_to_dict()
+        assert exported["Sink.on_event"]["batched"] == 6
+        assert "batched" not in heap.profile_to_dict().get("Sink.on_event", {})
+
+    def test_step_pops_single_events(self):
+        engine = BatchedEngine()
+        sink = Sink()
+        for tag in range(3):
+            engine.schedule_at(1, sink.on_event, tag)
+        assert engine.step()
+        assert sink.log == [0]
+        engine.run()
+        assert sink.log == [0, 1, 2]
+
+
+class TestRegistryAndConfig:
+    def test_registry_names_and_types(self):
+        assert set(EVENT_ENGINES.names()) >= {"heap", "batched"}
+        assert type(EVENT_ENGINES.create("heap")) is Engine
+        assert isinstance(EVENT_ENGINES.create("batched"), BatchedEngine)
+
+    def test_unknown_engine_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="event engine"):
+            baseline_config().derive(event_engine="warp-drive")
+
+    def test_event_engine_round_trips_losslessly(self):
+        config = baseline_config().derive(event_engine="batched")
+        data = config.to_dict()
+        assert data["event_engine"] == "batched"
+        assert GPUConfig.from_dict(data) == config
+        # Unset stays absent, so old serialized configs load unchanged.
+        assert "event_engine" not in baseline_config().to_dict()
+
+    def test_engine_choice_is_fingerprint_neutral(self):
+        heap = softwalker_config()
+        batched = heap.derive(event_engine="batched")
+        assert config_fingerprint(heap) == config_fingerprint(batched)
+
+    def test_machine_builder_honours_the_choice(self):
+        spec = MachineSpec(config=baseline_config().derive(event_engine="batched"))
+        assert spec.engine_name == "batched"
+        assert spec.components()["event_engine"] == "batched"
+        machine = MachineBuilder(spec).build(
+            build_workload("gups", spec.config, scale=SCALE)
+        )
+        assert isinstance(machine.engine, BatchedEngine)
+        heap_spec = MachineSpec(config=baseline_config())
+        assert heap_spec.engine_name == "heap"
+
+
+def batched_cfg(name: str) -> GPUConfig:
+    return DEFAULT_CONFIGS.get(name).derive(event_engine="batched")
+
+
+def make_sim(config: GPUConfig, benchmark: str = "gups") -> GPUSimulator:
+    return GPUSimulator(
+        config, build_workload(benchmark, config, scale=SCALE, seed=SEED)
+    )
+
+
+class TestGoldenParity:
+    """The acceptance bar: batched ≡ heap on every pinned golden cell."""
+
+    @pytest.mark.parametrize(
+        "config_name,bench",
+        [
+            (config, bench)
+            for config in ("baseline", "softwalker", "hybrid")
+            for bench in ("dc", "spmv")
+        ],
+    )
+    def test_batched_matches_committed_golden(self, config_name, bench):
+        result = Runner().run(
+            batched_cfg(config_name), bench, scale=SCALE, seed=SEED
+        )
+        actual = json.loads(json.dumps(result.fingerprint()))
+        expected = json.loads(
+            (GOLDEN_DIR / f"{config_name}_{bench}.json").read_text()
+        )
+        assert actual == expected
+
+    def test_simulator_reports_the_engine_it_ran(self):
+        sim = make_sim(batched_cfg("baseline"))
+        assert isinstance(sim.engine, BatchedEngine)
+        sim_heap = make_sim(DEFAULT_CONFIGS.get("baseline"))
+        assert type(sim_heap.engine) is Engine
+
+    def test_sweep_dispatch_matches_serial_heap(self):
+        """Multi-process sweep with engine=batched returns byte-identical
+        fingerprints to serial heap runs of the same points."""
+        names = ("baseline", "softwalker")
+        points = {
+            name: make_point(batched_cfg(name), "gups", scale=SCALE, seed=SEED)
+            for name in names
+        }
+        swept = Runner().sweep(list(points.values()), jobs=2)
+        for name, point in points.items():
+            serial = Runner().run(
+                DEFAULT_CONFIGS.get(name), "gups", scale=SCALE, seed=SEED
+            )
+            assert json.dumps(swept[point].fingerprint(), sort_keys=True) == (
+                json.dumps(serial.fingerprint(), sort_keys=True)
+            )
+
+
+class TestServicePathParity:
+    """The service must run a batched-engine config bit-identically —
+    and dedupe it against the heap spelling, since the engine choice is
+    excluded from the config fingerprint."""
+
+    def test_service_runs_batched_and_dedupes_against_heap(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        from repro.harness.store import fingerprint_digest
+        from repro.service import JobSpec, ServiceClient
+
+        local = Runner().run(
+            DEFAULT_CONFIGS.get("baseline"), "gups", scale=SCALE, seed=SEED
+        )
+        expected_digest = fingerprint_digest(local)
+
+        socket_path = str(tmp_path / "svc.sock")
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.pathsep.join(
+                filter(
+                    None,
+                    [os.path.abspath("src"), os.environ.get("PYTHONPATH")],
+                )
+            ),
+            REPRO_SOCKET=socket_path,
+            REPRO_STORE=str(tmp_path / "store"),
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--drain-grace", "0.5"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            client = ServiceClient(socket_path, client_name="pytest-batched")
+            client.wait_until_up(15.0)
+            batched_spec = JobSpec(
+                benchmark="gups",
+                config=batched_cfg("baseline"),
+                scale=SCALE,
+                seed=SEED,
+            )
+            first = client.submit(batched_spec, wait=True)
+            assert first["state"] == "done"
+            assert first["digest"] == expected_digest
+
+            heap_spec = JobSpec(
+                benchmark="gups", config="baseline", scale=SCALE, seed=SEED
+            )
+            again = client.submit(heap_spec, wait=True)
+            assert again["digest"] == expected_digest
+            # Fingerprint-neutral engine choice == one simulation total.
+            assert client.stats()["simulations"] == 1
+        finally:
+            if process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(10)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(10)
+
+
+class TestStepRunParity:
+    """Satellite: single-stepping the batched engine through a whole run
+    must land on the same clock, event count, and fingerprint."""
+
+    @pytest.mark.parametrize("config_name", ["baseline", "softwalker"])
+    def test_single_stepping_matches_run(self, config_name):
+        reference = make_sim(batched_cfg(config_name))
+        ref_result = reference.run()
+
+        stepped = make_sim(batched_cfg(config_name))
+        stepped.start()
+        engine = stepped.engine
+        while engine.real_pending:
+            engine.step()
+        assert engine.now == reference.engine.now
+        assert engine.events_processed == reference.engine.events_processed
+        assert stepped.partial_result().fingerprint() == ref_result.fingerprint()
+
+
+class TestCheckpointMidBatch:
+    """Satellite: checkpoint/resume while a same-cycle batch is split
+    across the snapshot boundary stays bit-identical."""
+
+    def _mid_batch_event_count(self, config: GPUConfig) -> int:
+        """An event index that lands strictly inside a same-cycle run
+        of batchable events, so resuming from it starts mid-batch."""
+        probe = make_sim(config)
+        probe.start()
+        engine = probe.engine
+        processed = 0
+        while engine.real_pending:
+            queue = sorted(engine._queue)[:3]
+            if (
+                len(queue) == 3
+                and queue[0][0] == queue[1][0] == queue[2][0]
+                and not any(entry[4] for entry in queue)
+                and getattr(queue[0][2], "__func__", None) is not None
+                and hasattr(queue[0][2].__func__, "__batch_handler__")
+                and queue[0][2].__func__ is queue[1][2].__func__
+                is queue[2][2].__func__
+                and queue[0][2].__self__ is queue[1][2].__self__
+                is queue[2][2].__self__
+            ):
+                # Stop one event *into* the run: the checkpoint boundary
+                # bisects what the uninterrupted engine batches.
+                return processed + 1
+            engine.step()
+            processed += 1
+        pytest.skip("workload produced no 3-deep same-cycle batchable run")
+
+    @pytest.mark.parametrize("engine_name", ["heap", "batched"])
+    def test_resume_mid_batch_is_bit_identical(self, engine_name):
+        config = DEFAULT_CONFIGS.get("softwalker").derive(event_engine=engine_name)
+        cut = self._mid_batch_event_count(config)
+        reference = make_sim(config).run().fingerprint()
+
+        sim = make_sim(config)
+        sim.advance(max_events=cut)
+        snapshot = Checkpoint.capture(sim)
+        resumed = snapshot.restore()
+        assert type(resumed.engine) is type(sim.engine)
+        assert resumed.run().fingerprint() == reference
+
+    @pytest.mark.parametrize("engine_name", ["heap", "batched"])
+    def test_supervised_retry_resumes_bit_identically(self, engine_name):
+        """A watchdog-killed attempt resumes from its checkpoint and the
+        final fingerprint still matches a plain uninterrupted run."""
+        config = DEFAULT_CONFIGS.get("baseline").derive(event_engine=engine_name)
+
+        def factory():
+            return make_sim(config)
+
+        plain = factory().run().fingerprint()
+        budgets = iter([8, 10_000, 10_000])
+        limits = {"per_slice": next(budgets), "ticks": 0}
+
+        def clock():
+            limits["ticks"] += 1
+            if limits["ticks"] == limits["per_slice"]:
+                limits["ticks"] = 0
+                limits["per_slice"] = next(budgets)
+                return 1e9
+            return 0.0
+
+        report = run_supervised(
+            factory,
+            policy=SupervisionPolicy(
+                slice_events=1_000,
+                checkpoint_every=2,
+                wall_clock_limit=100.0,
+                max_retries=1,
+            ),
+            clock=clock,
+            sleep=lambda s: None,
+        )
+        assert report.attempts == 2
+        assert report.result.fingerprint() == plain
